@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VII) plus the ablations from DESIGN.md. Each benchmark runs the
+// corresponding experiment driver end to end and reports domain metrics
+// (colors, conflict edges, memory, speedups) via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the full evaluation at CI scale.
+// Use cmd/experiments -full for paper-scale instances and rendered tables.
+package picasso_test
+
+import (
+	"io"
+	"testing"
+
+	"picasso"
+	"picasso/internal/coloring"
+	"picasso/internal/experiments"
+	"picasso/internal/workload"
+)
+
+// benchConfig keeps per-iteration work bounded while exercising the full
+// pipelines.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Build.MaxTerms = 1500
+	cfg.Seeds = []int64{1, 2}
+	cfg.MaxInstances = 2
+	return cfg
+}
+
+// BenchmarkTable2Dataset regenerates the dataset table (paper Table II):
+// instance construction plus parallel complement-edge counting.
+func BenchmarkTable2Dataset(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg, []workload.Class{workload.Small})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			experiments.RenderTable2(io.Discard, rows)
+			b.ReportMetric(float64(rows[0].Terms), "terms")
+			b.ReportMetric(float64(rows[0].Edges), "edges")
+		}
+	}
+}
+
+// BenchmarkTable3Quality regenerates the color-quality comparison (paper
+// Table III): ColPack orderings vs Picasso Norm/Aggr vs the parallel
+// baselines.
+func BenchmarkTable3Quality(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r := rows[0]
+			b.ReportMetric(r.ColPack[coloring.DLF], "DLF-colors")
+			b.ReportMetric(r.Norm, "norm-colors")
+			b.ReportMetric(r.Aggr, "aggr-colors")
+		}
+	}
+}
+
+// BenchmarkTable4Memory regenerates the peak-memory comparison (paper
+// Table IV) under the byte-exact accounting model.
+func BenchmarkTable4Memory(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r := rows[0]
+			b.ReportMetric(float64(r.ColPack)/float64(r.Norm), "colpack/norm-mem")
+			b.ReportMetric(float64(r.Kokkos)/float64(r.ECL), "kokkos/ecl-mem")
+		}
+	}
+}
+
+// BenchmarkTable5Speedup regenerates the CPU-only vs GPU-assisted runtime
+// comparison (paper Table V).
+func BenchmarkTable5Speedup(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].BuildSpeedup, "build-speedup")
+			b.ReportMetric(rows[len(rows)-1].TotalSpeedup, "total-speedup")
+		}
+	}
+}
+
+// BenchmarkFig2Scaling regenerates the conflict-edge scaling study with the
+// device-budget ceiling (paper Fig. 2).
+func BenchmarkFig2Scaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInstances = 3
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(cfg, []workload.Class{workload.Small})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].MaxConfPct, "max-conf-%")
+			b.ReportMetric(rows[len(rows)-1].CeilingPct, "ceiling-%")
+		}
+	}
+}
+
+// BenchmarkFig3Breakdown regenerates the runtime component breakdown
+// (paper Fig. 3).
+func BenchmarkFig3Breakdown(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(cfg, []workload.Class{workload.Small})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			r := rows[len(rows)-1]
+			b.ReportMetric(float64(r.Build)/float64(r.Total), "build-frac")
+		}
+	}
+}
+
+// BenchmarkFig4Relative regenerates the P-sweep comparison against
+// ECL-GC-R (paper Fig. 4).
+func BenchmarkFig4Relative(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInstances = 1
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.PFrac == 0.01 {
+					b.ReportMetric(p.RelColors, "relColors-P1%")
+					b.ReportMetric(p.RelMemory, "relMem-P1%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Heatmap regenerates the P×α parameter-sensitivity heatmap
+// (paper Fig. 5).
+func BenchmarkFig5Heatmap(b *testing.B) {
+	cfg := benchConfig()
+	pfracs, alphas := experiments.DefaultFig5Axes(true)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(cfg, "H6 3D sto3g", pfracs, alphas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Cells)), "cells")
+		}
+	}
+}
+
+// BenchmarkMLPredictor regenerates the §VI study: grid sweep, forest
+// training, held-out evaluation.
+func BenchmarkMLPredictor(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInstances = 5
+	cfg.Build.MaxTerms = 400
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ML(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MAPE, "MAPE")
+			b.ReportMetric(res.R2, "R2")
+		}
+	}
+}
+
+// BenchmarkAblationListColoring compares Algorithm 2 against the static
+// list-coloring orders (§IV-B design choice).
+func BenchmarkAblationListColoring(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationListColoring(cfg, "H6 3D sto3g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Colors, "dynamic-colors")
+			b.ReportMetric(rows[1].Colors, "natural-colors")
+		}
+	}
+}
+
+// BenchmarkAblationEncoding measures the 3-bit encoded anticommutation test
+// against the naive character comparison (§IV-A's 1.4–2.0× claim).
+func BenchmarkAblationEncoding(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationEncoding(cfg, "H6 3D sto3g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disagreement != 0 {
+			b.Fatal("encoded and naive tests disagree")
+		}
+		if i == 0 {
+			b.ReportMetric(res.Speedup, "encoded-speedup")
+		}
+	}
+}
+
+// BenchmarkAblationIterative compares the iterative algorithm with the
+// single-pass ACK-style variant (§III modification iii).
+func BenchmarkAblationIterative(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationIterative(cfg, "H6 3D sto3g")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.IterativeColors, "iterative-colors")
+			b.ReportMetric(res.SinglePassColors, "singlepass-colors")
+		}
+	}
+}
+
+// BenchmarkAblationAtomics contrasts the two parallel conflict-graph
+// construction strategies: per-worker buffers (CPU path) vs a shared
+// atomic-cursor edge list (GPU path) — the paper's §V note on why
+// warp-level reduction did not pay off.
+func BenchmarkAblationAtomics(b *testing.B) {
+	o := picasso.RandomGraph(3000, 0.5, 17)
+	b.Run("worker-buffers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := picasso.Normal(1)
+			opts.Workers = 0
+			if _, err := picasso.Color(o, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("atomic-cursor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := picasso.Normal(1)
+			opts.Device = picasso.NewDevice("bench", 1<<32, 0)
+			if _, err := picasso.Color(o, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColorThroughput measures raw Picasso throughput on a dense
+// random graph (vertices per second via implicit-edge coloring).
+func BenchmarkColorThroughput(b *testing.B) {
+	o := picasso.RandomGraph(2000, 0.5, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := picasso.Color(o, picasso.Normal(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPauliGrouping measures the end-to-end quantum workflow:
+// molecule build, coloring, grouping.
+func BenchmarkPauliGrouping(b *testing.B) {
+	set, err := picasso.BuildMolecule("H4 1D sto3g", 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := picasso.ColorPauli(set, picasso.Normal(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.NumColors), "groups")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command datasetgen materializes Table II instances as text files: one
+// Pauli string and coefficient per line, consumable by `picasso -strings`
+// or external tooling.
+//
+//	datasetgen -name "H6 3D sto3g" -out h6_3d.txt
+//	datasetgen -all -dir dataset/          # every small-class instance
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"picasso/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "Table II instance name")
+		all    = flag.Bool("all", false, "emit every small-class instance")
+		dir    = flag.String("dir", ".", "output directory for -all")
+		out    = flag.String("out", "", "output file for -name (default: derived)")
+		target = flag.Int("target", 0, "term-count target (0 = Table II target)")
+		stats  = flag.Bool("stats", false, "also measure and print edge counts")
+	)
+	flag.Parse()
+
+	opts := workload.DefaultBuild()
+	switch {
+	case *all:
+		for _, inst := range workload.SmallSet() {
+			path := filepath.Join(*dir, fileName(inst.Name))
+			emit(inst, opts, *target, path, *stats)
+		}
+	case *name != "":
+		inst, err := workload.ByName(*name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		path := *out
+		if path == "" {
+			path = fileName(inst.Name)
+		}
+		emit(inst, opts, *target, path, *stats)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fileName(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "_") + ".paulis"
+}
+
+func emit(inst workload.Instance, opts workload.BuildOptions, target int, path string, stats bool) {
+	if target > 0 {
+		opts.MaxTerms = target
+	}
+	set, err := inst.Build(opts)
+	if err != nil {
+		fatal("building %s: %v", inst.Name, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# %s: %d strings on %d qubits (paper: %d terms)\n",
+		inst.Name, set.Len(), set.Qubits(), inst.PaperTerms)
+	for i := 0; i < set.Len(); i++ {
+		if set.HasCoeffs() {
+			fmt.Fprintf(w, "%s %.12g\n", set.At(i).String(), set.Coeff(i))
+		} else {
+			fmt.Fprintln(w, set.At(i).String())
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: %d strings -> %s\n", inst.Name, set.Len(), path)
+	if stats {
+		st, err := inst.Measure(opts)
+		if err != nil {
+			fatal("measuring %s: %v", inst.Name, err)
+		}
+		fmt.Printf("  edges %d (density %.2f; paper %d)\n", st.Edges, st.Density, inst.PaperEdges)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datasetgen: "+format+"\n", args...)
+	os.Exit(1)
+}

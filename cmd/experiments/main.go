@@ -1,0 +1,161 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -run all            # every artifact at quick scale
+//	experiments -run table3 -full   # paper-scale instances, 5 seeds
+//	experiments -run fig5 -instance "H4 2D 631g"
+//
+// Each run prints the rows the paper reports; EXPERIMENTS.md records a
+// captured copy next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"picasso/internal/experiments"
+	"picasso/internal/workload"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "table2|table3|table4|table5|fig2|fig3|fig4|fig5|ml|ablation|all")
+		full     = flag.Bool("full", false, "paper-scale instances and 5 seeds (slow)")
+		maxTerms = flag.Int("max-terms", 0, "override instance size cap (0 = config default)")
+		maxInst  = flag.Int("max-instances", 0, "cap instances per class (0 = config default)")
+		instance = flag.String("instance", "H6 3D sto3g", "instance for fig5/ablation")
+		classes  = flag.String("classes", "small", "comma list for table2/fig2/fig3: small,medium,large")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *maxTerms > 0 {
+		cfg.Build.MaxTerms = *maxTerms
+	}
+	if *maxInst > 0 {
+		cfg.MaxInstances = *maxInst
+	}
+
+	var classList []workload.Class
+	for _, c := range strings.Split(*classes, ",") {
+		switch strings.TrimSpace(c) {
+		case "small":
+			classList = append(classList, workload.Small)
+		case "medium":
+			classList = append(classList, workload.Medium)
+		case "large":
+			classList = append(classList, workload.Large)
+		case "":
+		default:
+			fatal("unknown class %q", c)
+		}
+	}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		section("Table II — dataset")
+		rows, err := experiments.Table2(cfg, classList)
+		check(err)
+		experiments.RenderTable2(os.Stdout, rows)
+	}
+	if want("table3") {
+		ran = true
+		section("Table III — coloring quality")
+		rows, err := experiments.Table3(cfg)
+		check(err)
+		experiments.RenderTable3(os.Stdout, rows)
+	}
+	if want("table4") {
+		ran = true
+		section("Table IV — peak memory")
+		rows, err := experiments.Table4(cfg)
+		check(err)
+		experiments.RenderTable4(os.Stdout, rows)
+	}
+	if want("table5") {
+		ran = true
+		section("Table V — CPU-only vs GPU-assisted")
+		rows, err := experiments.Table5(cfg)
+		check(err)
+		experiments.RenderTable5(os.Stdout, rows)
+	}
+	if want("fig2") {
+		ran = true
+		section("Figure 2 — conflict-edge scaling vs device ceiling")
+		rows, err := experiments.Fig2(cfg, classList)
+		check(err)
+		experiments.RenderFig2(os.Stdout, rows)
+	}
+	if want("fig3") {
+		ran = true
+		section("Figure 3 — runtime breakdown")
+		rows, err := experiments.Fig3(cfg, classList)
+		check(err)
+		experiments.RenderFig3(os.Stdout, rows)
+	}
+	if want("fig4") {
+		ran = true
+		section("Figure 4 — relative comparison vs ECL-GC-R (α = 4.5)")
+		points, err := experiments.Fig4(cfg)
+		check(err)
+		experiments.RenderFig4(os.Stdout, points)
+	}
+	if want("fig5") {
+		ran = true
+		section("Figure 5 — P × α sensitivity on " + *instance)
+		pfracs, alphas := experiments.DefaultFig5Axes(!*full)
+		res, err := experiments.Fig5(cfg, *instance, pfracs, alphas)
+		check(err)
+		experiments.RenderFig5(os.Stdout, res)
+	}
+	if want("ml") {
+		ran = true
+		section("§VI — random-forest parameter predictor")
+		res, err := experiments.ML(cfg, 0)
+		check(err)
+		experiments.RenderML(os.Stdout, res)
+	}
+	if want("ablation") {
+		ran = true
+		section("Ablation — conflict-graph coloring strategies")
+		rows, err := experiments.AblationListColoring(cfg, *instance)
+		check(err)
+		experiments.RenderAblationList(os.Stdout, rows)
+		section("Ablation — encoded vs naive anticommutation")
+		enc, err := experiments.AblationEncoding(cfg, *instance)
+		check(err)
+		experiments.RenderEncoding(os.Stdout, enc)
+		section("Ablation — iterative vs single pass")
+		it, err := experiments.AblationIterative(cfg, *instance)
+		check(err)
+		experiments.RenderIterative(os.Stdout, it)
+	}
+	if !ran {
+		fatal("unknown -run %q", *run)
+	}
+}
+
+var start = time.Now()
+
+func section(title string) {
+	fmt.Printf("\n=== %s (t=%v) ===\n", title, time.Since(start).Round(time.Millisecond))
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

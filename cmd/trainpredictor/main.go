@@ -1,0 +1,113 @@
+// Command trainpredictor reproduces the §VI machine-learning methodology:
+// grid-sweep the (P′, α) space on training molecules, build the β-objective
+// dataset, fit the random-forest regressor, evaluate on held-out molecules,
+// and answer ad-hoc prediction queries.
+//
+//	trainpredictor -train 5 -max-terms 3000
+//	trainpredictor -predict 0.5:20000:100000000   # β:|V|:|E|
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"picasso/internal/core"
+	"picasso/internal/graph"
+	"picasso/internal/mlpredict"
+	"picasso/internal/workload"
+)
+
+func main() {
+	var (
+		trainN   = flag.Int("train", 5, "number of small-class molecules to train on (rest are test)")
+		maxTerms = flag.Int("max-terms", 2500, "instance size cap for the sweeps")
+		trees    = flag.Int("trees", 100, "forest size (paper: 100)")
+		depth    = flag.Int("depth", 20, "maximum tree depth (paper: 20)")
+		seed     = flag.Int64("seed", 1, "sweep and training seed")
+		predict  = flag.String("predict", "", "ad-hoc query as beta:vertices:edges")
+	)
+	flag.Parse()
+
+	build := workload.DefaultBuild()
+	build.MaxTerms = *maxTerms
+
+	insts := workload.SmallSet()
+	if *trainN < 1 || *trainN >= len(insts) {
+		fatal("-train must be in [1, %d)", len(insts))
+	}
+
+	pfracs := mlpredict.DefaultPFracs()
+	alphas := []float64{0.5, 1.5, 2.5, 3.5, 4.5}
+	betas := mlpredict.DefaultBetas()
+
+	fmt.Printf("sweeping %d molecules over %d grid points each...\n",
+		len(insts), len(pfracs)*len(alphas))
+	var trainSweeps, testSweeps []*mlpredict.SweepResult
+	for i, inst := range insts {
+		set, err := inst.Build(build)
+		if err != nil {
+			fatal("building %s: %v", inst.Name, err)
+		}
+		orc := core.NewPauliOracle(set)
+		edges := graph.CountEdges(orc)
+		s, err := mlpredict.Sweep(orc, edges, pfracs, alphas, *seed, 0)
+		if err != nil {
+			fatal("sweeping %s: %v", inst.Name, err)
+		}
+		role := "train"
+		if i >= *trainN {
+			role = "test"
+			testSweeps = append(testSweeps, s)
+		} else {
+			trainSweeps = append(trainSweeps, s)
+		}
+		fmt.Printf("  %-14s |V|=%6d |E|=%12d  (%s)\n", inst.Name, s.V, s.E, role)
+	}
+
+	rows := mlpredict.BuildRows(trainSweeps, betas)
+	testRows := mlpredict.BuildRows(testSweeps, betas)
+	opts := mlpredict.ForestOptions{Trees: *trees, MaxDepth: *depth, Seed: *seed}
+	pred, err := mlpredict.TrainPredictor(rows, opts)
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	mape, r2 := pred.Evaluate(testRows)
+	fmt.Printf("\ntrained on %d rows, tested on %d rows\n", len(rows), len(testRows))
+	fmt.Printf("MAPE = %.3f (paper: 0.19)\nR²   = %.3f (paper: 0.88)\n", mape, r2)
+
+	if *predict != "" {
+		parts := strings.Split(*predict, ":")
+		if len(parts) != 3 {
+			fatal("-predict wants beta:vertices:edges")
+		}
+		beta, err1 := strconv.ParseFloat(parts[0], 64)
+		v, err2 := strconv.Atoi(parts[1])
+		e, err3 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			fatal("malformed -predict %q", *predict)
+		}
+		pf, a := pred.Predict(beta, v, e)
+		fmt.Printf("\nrecommendation for β=%.2f, |V|=%d, |E|=%d:\n", beta, v, e)
+		fmt.Printf("  palette P' = %.1f%% of |V|, α = %.2f\n", pf*100, a)
+	}
+
+	// Always show the β tradeoff curve for the first test molecule.
+	if len(testSweeps) > 0 {
+		s := testSweeps[0]
+		fmt.Printf("\nβ tradeoff on the first test molecule (|V|=%d):\n", s.V)
+		for _, b := range []float64{0.1, 0.5, 0.9} {
+			pf, a := pred.Predict(b, s.V, s.E)
+			opt := s.OptimalFor(b)
+			fmt.Printf("  β=%.1f: predicted (P'=%.1f%%, α=%.2f), sweep-optimal (P'=%.1f%%, α=%.1f)\n",
+				b, pf*100, a, opt.PFrac*100, opt.Alpha)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trainpredictor: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Package bitvec provides fixed-width bit-vector utilities used by the
+// Pauli-string encoding layer. Strings are packed 3 bits per character into
+// 64-bit words (21 characters per word), so the anticommutation parity test
+// reduces to AND + popcount across whole words.
+package bitvec
+
+import "math/bits"
+
+// WordBits is the number of usable bits per word. Only 63 of the 64 bits are
+// used so that a word always holds a whole number of 3-bit groups.
+const WordBits = 63
+
+// GroupBits is the width of one packed group (one Pauli character).
+const GroupBits = 3
+
+// GroupsPerWord is the number of 3-bit groups stored in one word.
+const GroupsPerWord = WordBits / GroupBits // 21
+
+// Vec is a little-endian vector of 3-bit groups packed into uint64 words.
+type Vec []uint64
+
+// WordsFor returns the number of words needed to store n 3-bit groups.
+func WordsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + GroupsPerWord - 1) / GroupsPerWord
+}
+
+// New returns a zeroed vector capable of holding n groups.
+func New(n int) Vec {
+	return make(Vec, WordsFor(n))
+}
+
+// SetGroup stores the low 3 bits of v as group i.
+func (b Vec) SetGroup(i int, v uint8) {
+	word, shift := i/GroupsPerWord, uint(i%GroupsPerWord)*GroupBits
+	b[word] = b[word]&^(uint64(0b111)<<shift) | uint64(v&0b111)<<shift
+}
+
+// Group returns group i as a 3-bit value.
+func (b Vec) Group(i int) uint8 {
+	word, shift := i/GroupsPerWord, uint(i%GroupsPerWord)*GroupBits
+	return uint8(b[word]>>shift) & 0b111
+}
+
+// AndPopcount returns popcount(a AND b) summed across all words. The two
+// vectors must have the same length.
+func AndPopcount(a, b Vec) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// AndParity reports whether popcount(a AND b) is odd. This is the hot path
+// of the anticommutation test: it avoids accumulating the full count.
+func AndParity(a, b Vec) bool {
+	var acc uint64
+	for i, w := range a {
+		acc ^= uint64(bits.OnesCount64(w&b[i]) & 1)
+	}
+	return acc&1 == 1
+}
+
+// Popcount returns the total number of set bits.
+func (b Vec) Popcount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy of the vector.
+func (b Vec) Clone() Vec {
+	c := make(Vec, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two vectors have identical words.
+func Equal(a, b Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

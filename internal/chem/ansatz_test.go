@@ -1,0 +1,141 @@
+package chem
+
+import (
+	"testing"
+)
+
+func TestCollectExcitations(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: STO3G}
+	ints, err := NewIntegrals(mol, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excs := collectExcitations(ints, 1e-6)
+	if len(excs) == 0 {
+		t.Fatal("no excitations collected")
+	}
+	n := ints.SpinOrbitals()
+	for _, e := range excs {
+		if e.p >= e.q || e.r >= e.s {
+			t.Fatalf("unordered excitation %+v", e)
+		}
+		if e.p < 0 || e.s >= n || e.q >= n || e.r < 0 {
+			t.Fatalf("out of range excitation %+v", e)
+		}
+		if e.amp == 0 {
+			t.Fatalf("zero amplitude kept: %+v", e)
+		}
+	}
+}
+
+func TestBuildInstanceGrowsBeyondHamiltonian(t *testing.T) {
+	mol := Molecule{Atoms: 3, Dim: 1, Basis: STO3G}
+	opts := DefaultHamiltonianOptions()
+	base, err := BuildInstance(mol, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := BuildInstance(mol, opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() <= base.Len() {
+		t.Fatalf("ansatz pairs added nothing: %d vs %d", grown.Len(), base.Len())
+	}
+	// Real coefficients everywhere (Hermitization worked).
+	for i := 0; i < grown.Len(); i++ {
+		if grown.Coeff(i) == 0 {
+			t.Fatalf("zero coefficient survived at %d", i)
+		}
+	}
+}
+
+func TestBuildInstanceDeterministic(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: B631G}
+	opts := DefaultHamiltonianOptions()
+	a, err := BuildInstance(mol, opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildInstance(mol, opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.At(i).Equal(b.At(i)) || a.Coeff(i) != b.Coeff(i) {
+			t.Fatalf("term %d differs", i)
+		}
+	}
+}
+
+func TestBuildToTargetReachesTarget(t *testing.T) {
+	mol := Molecule{Atoms: 4, Dim: 1, Basis: STO3G} // 8 qubits: 65k strings exist
+	opts := DefaultHamiltonianOptions()
+	for _, target := range []int{500, 2000, 5000} {
+		set, err := BuildToTarget(mol, opts, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Must land near the target: the loop aims 25% past it to absorb
+		// tolerance-filter losses, so accept [90%, 600%] of nominal.
+		if set.Len() < target*9/10 {
+			t.Errorf("target %d: built only %d", target, set.Len())
+		}
+		if set.Len() > 6*target {
+			t.Errorf("target %d: overshoot to %d", target, set.Len())
+		}
+	}
+}
+
+func TestBuildToTargetSmallTargetReturnsHamiltonian(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: STO3G}
+	opts := DefaultHamiltonianOptions()
+	base, err := BuildHamiltonian(mol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := BuildToTarget(mol, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != base.Len() {
+		t.Fatalf("tiny target grew the instance: %d vs %d", set.Len(), base.Len())
+	}
+}
+
+func TestBuildToTargetMonotoneBatches(t *testing.T) {
+	// Larger targets must produce supersets in count (same seed, same
+	// deterministic pair sequence).
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: B631G}
+	opts := DefaultHamiltonianOptions()
+	small, err := BuildToTarget(mol, opts, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BuildToTarget(mol, opts, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Len() < small.Len() {
+		t.Fatalf("larger target gave smaller set: %d vs %d", large.Len(), small.Len())
+	}
+}
+
+func TestAnsatzDensityStaysDense(t *testing.T) {
+	// The mixed Hamiltonian+ansatz population is the paper's workload; its
+	// commutation density must stay in the ~50% band.
+	mol := Molecule{Atoms: 3, Dim: 1, Basis: STO3G}
+	set, err := BuildToTarget(mol, DefaultHamiltonianOptions(), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := set.Len()
+	edges := set.CountComplementEdges()
+	density := float64(edges) / (float64(n) * float64(n-1) / 2)
+	if density < 0.35 || density > 0.75 {
+		t.Errorf("density %.2f outside the dense band", density)
+	}
+}

@@ -1,0 +1,445 @@
+package chem
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"picasso/internal/pauli"
+)
+
+func TestHydrogenPositions(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		pos, err := HydrogenPositions(8, dim)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if len(pos) != 8 {
+			t.Fatalf("dim %d: %d positions", dim, len(pos))
+		}
+		// Distinct positions.
+		for i := range pos {
+			for j := i + 1; j < len(pos); j++ {
+				if Dist(pos[i], pos[j]) == 0 {
+					t.Fatalf("dim %d: coincident atoms %d, %d", dim, i, j)
+				}
+			}
+		}
+	}
+	if _, err := HydrogenPositions(4, 5); err == nil {
+		t.Error("dim 5 accepted")
+	}
+	if _, err := HydrogenPositions(0, 1); err == nil {
+		t.Error("0 atoms accepted")
+	}
+}
+
+func TestGeometryCompactness(t *testing.T) {
+	// 3D packing must have smaller max pairwise distance than the 1D chain.
+	chain, _ := HydrogenPositions(8, 1)
+	cube, _ := HydrogenPositions(8, 3)
+	if maxDist(cube) >= maxDist(chain) {
+		t.Errorf("cube diameter %v >= chain diameter %v", maxDist(cube), maxDist(chain))
+	}
+}
+
+func maxDist(pos []Vec3) float64 {
+	m := 0.0
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if d := Dist(pos[i], pos[j]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+func TestMoleculeQubits(t *testing.T) {
+	// Paper Table II identities.
+	cases := []struct {
+		name   string
+		qubits int
+	}{
+		{"H6 3D sto3g", 12},
+		{"H4 2D 631g", 16},
+		{"H4 2D 6311g", 24},
+		{"H8 1D sto3g", 16},
+		{"H10 3D sto3g", 20},
+		{"H6 2D 631g", 24},
+	}
+	for _, c := range cases {
+		mol, err := ParseMolecule(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := mol.Qubits(); got != c.qubits {
+			t.Errorf("%s: qubits = %d, want %d", c.name, got, c.qubits)
+		}
+		if mol.Name() != c.name {
+			t.Errorf("name round trip: %q -> %q", c.name, mol.Name())
+		}
+	}
+}
+
+func TestParseMoleculeErrors(t *testing.T) {
+	for _, bad := range []string{"", "H6", "H6 3D", "X6 3D sto3g", "H6 5D sto3g", "H6 3D foo", "H0 1D sto3g"} {
+		if _, err := ParseMolecule(bad); err == nil {
+			t.Errorf("ParseMolecule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMoleculeUnderscores(t *testing.T) {
+	mol, err := ParseMolecule("h4_2d_631g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mol.Atoms != 4 || mol.Dim != 2 || mol.Basis != B631G {
+		t.Fatalf("parsed %+v", mol)
+	}
+}
+
+func TestIntegralSymmetries(t *testing.T) {
+	mol := Molecule{Atoms: 4, Dim: 2, Basis: B631G}
+	ints, err := NewIntegrals(mol, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := mol.SpatialOrbitals()
+	for p := 0; p < no; p++ {
+		for q := 0; q < no; q++ {
+			if ints.OneBody(p, q) != ints.OneBody(q, p) {
+				t.Fatalf("h not symmetric at %d,%d", p, q)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 500; trial++ {
+		p, q, r, s := rng.Intn(no), rng.Intn(no), rng.Intn(no), rng.Intn(no)
+		g := ints.TwoBody(p, q, r, s)
+		if g2 := ints.TwoBody(s, r, q, p); g2 != g {
+			t.Fatalf("hermitian symmetry violated: g(%d%d%d%d)=%v g(%d%d%d%d)=%v",
+				p, q, r, s, g, s, r, q, p, g2)
+		}
+		if g3 := ints.TwoBody(q, p, s, r); g3 != g {
+			t.Fatalf("relabel symmetry violated at %d%d%d%d", p, q, r, s)
+		}
+	}
+}
+
+func TestIntegralDecay(t *testing.T) {
+	mol := Molecule{Atoms: 10, Dim: 1, Basis: STO3G}
+	ints, err := NewIntegrals(mol, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Among symmetry-allowed off-diagonal pairs, the nearest must dominate
+	// the farthest (exponential decay dominates the bounded random factor
+	// once the distance gap is large enough).
+	nearest, farthest := -1, -1
+	for q := 1; q < 10; q++ {
+		if ints.Label(0) == ints.Label(q) {
+			if nearest == -1 {
+				nearest = q
+			}
+			farthest = q
+		}
+	}
+	if nearest == -1 || farthest <= nearest+3 {
+		t.Skip("symmetry labels leave no well-separated allowed pair")
+	}
+	near := math.Abs(ints.OneBody(0, nearest))
+	far := math.Abs(ints.OneBody(0, farthest))
+	if far >= near {
+		t.Errorf("no decay: |h(0,%d)| = %v <= |h(0,%d)| = %v", nearest, near, farthest, far)
+	}
+}
+
+func TestSelectionRuleSymmetry(t *testing.T) {
+	mol := Molecule{Atoms: 4, Dim: 3, Basis: B631G}
+	ints, err := NewIntegrals(mol, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := mol.SpatialOrbitals()
+	zeroed, total := 0, 0
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		p, q, r, s := rng.Intn(no), rng.Intn(no), rng.Intn(no), rng.Intn(no)
+		g := ints.TwoBody(p, q, r, s)
+		// The zero pattern must respect the hermitian orbit too.
+		if (g == 0) != (ints.TwoBody(s, r, q, p) == 0) {
+			t.Fatalf("zero pattern breaks hermitian symmetry at %d%d%d%d", p, q, r, s)
+		}
+		total++
+		if g == 0 {
+			zeroed++
+		}
+	}
+	if zeroed == 0 {
+		t.Error("3D geometry produced no symmetry-forbidden integrals")
+	}
+	if zeroed == total {
+		t.Error("all integrals forbidden")
+	}
+	// Coulomb-like diagonals always allowed.
+	if ints.TwoBody(1, 3, 3, 1) == 0 {
+		t.Error("Coulomb term g(1,3,3,1) forbidden")
+	}
+}
+
+func TestGeometryChangesTermSet(t *testing.T) {
+	// The emulated selection rules must differentiate the 1D/2D/3D variants
+	// of the same molecule (paper Table II shows distinct counts).
+	opts := DefaultHamiltonianOptions()
+	counts := map[int]int{}
+	for _, dim := range []int{1, 2, 3} {
+		set, err := BuildHamiltonian(Molecule{Atoms: 4, Dim: dim, Basis: STO3G}, opts)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		counts[dim] = set.Len()
+	}
+	if counts[1] == counts[2] && counts[2] == counts[3] {
+		t.Errorf("all geometries give identical term counts: %v", counts)
+	}
+	// Higher symmetry (3D, symOrder 4) should not exceed the chain count.
+	if counts[3] > counts[1] {
+		t.Errorf("3D count %d exceeds 1D count %d", counts[3], counts[1])
+	}
+}
+
+func TestSpinConservation(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: STO3G}
+	ints, _ := NewIntegrals(mol, 1)
+	if ints.OneBodySpin(0, 1) != 0 { // spin 0 vs spin 1
+		t.Error("spin-flip one-body nonzero")
+	}
+	if ints.OneBodySpin(0, 0) == 0 { // diagonal: always allowed
+		t.Error("diagonal one-body zero")
+	}
+	if ints.TwoBodySpin(0, 1, 1, 0) == 0 { // σP=0=σS, σQ=1=σR, Coulomb: allowed
+		t.Error("spin-conserving Coulomb two-body zero")
+	}
+	if ints.TwoBodySpin(0, 1, 0, 1) != 0 { // σP=0, σS=1: forbidden
+		t.Error("spin-violating two-body nonzero")
+	}
+	// Same-spin one-body between different orbitals obeys the selection
+	// rule: nonzero iff the labels match.
+	want := ints.Label(0) == ints.Label(1)
+	if got := ints.OneBodySpin(0, 2) != 0; got != want {
+		t.Errorf("h(0,2) nonzero=%v, labels equal=%v", got, want)
+	}
+}
+
+func TestLadderOperatorsCAR(t *testing.T) {
+	// {a_p, a†_p} = 1 and a_p² = 0 in the JW representation.
+	const n = 4
+	for p := 0; p < n; p++ {
+		a := Lower(p, n)
+		ad := Raise(p, n)
+		anti := a.Mul(ad)
+		for k, t2 := range ad.Mul(a).terms {
+			prev, ok := anti.terms[k]
+			if !ok {
+				anti.terms[k] = t2
+				continue
+			}
+			prev.coeff += t2.coeff
+			anti.terms[k] = prev
+		}
+		// Result must be the identity.
+		for _, term := range anti.terms {
+			if term.str.IsIdentity() {
+				if cmplx.Abs(term.coeff-1) > 1e-12 {
+					t.Fatalf("p=%d: identity coeff %v", p, term.coeff)
+				}
+			} else if cmplx.Abs(term.coeff) > 1e-12 {
+				t.Fatalf("p=%d: stray term %s %v", p, term.str, term.coeff)
+			}
+		}
+		// a² = 0.
+		sq := a.Mul(a)
+		for _, term := range sq.terms {
+			if cmplx.Abs(term.coeff) > 1e-12 {
+				t.Fatalf("a_%d² has term %s %v", p, term.str, term.coeff)
+			}
+		}
+	}
+}
+
+func TestLadderAnticommuteDifferentModes(t *testing.T) {
+	// {a_p, a_q} = 0 for p != q.
+	const n = 5
+	a2, a4 := Lower(2, n), Lower(4, n)
+	sum := a2.Mul(a4)
+	for k, t2 := range a4.Mul(a2).terms {
+		prev, ok := sum.terms[k]
+		if !ok {
+			sum.terms[k] = t2
+			continue
+		}
+		prev.coeff += t2.coeff
+		sum.terms[k] = prev
+	}
+	for _, term := range sum.terms {
+		if cmplx.Abs(term.coeff) > 1e-12 {
+			t.Fatalf("{a_2, a_4} has term %s %v", term.str, term.coeff)
+		}
+	}
+}
+
+func TestNumberOperator(t *testing.T) {
+	const n = 3
+	for p := 0; p < n; p++ {
+		got := Raise(p, n).Mul(Lower(p, n))
+		want := Number(p, n)
+		for k, wt := range want.terms {
+			gt, ok := got.terms[k]
+			if !ok || cmplx.Abs(gt.coeff-wt.coeff) > 1e-12 {
+				t.Fatalf("p=%d: term %s mismatch", p, wt.str)
+			}
+		}
+	}
+}
+
+func TestBuildHamiltonianSmall(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: STO3G} // H2 sto-3g: 4 qubits
+	set, err := BuildHamiltonian(mol, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Qubits() != 4 {
+		t.Fatalf("qubits = %d", set.Qubits())
+	}
+	if set.Len() < 10 {
+		t.Fatalf("suspiciously few terms: %d", set.Len())
+	}
+	if !set.HasCoeffs() {
+		t.Fatal("no coefficients")
+	}
+	// All coefficients nonzero after tolerance filtering.
+	for i := 0; i < set.Len(); i++ {
+		if set.Coeff(i) == 0 {
+			t.Fatalf("zero coefficient at %d", i)
+		}
+	}
+	// No duplicate strings.
+	seen := map[string]bool{}
+	for i := 0; i < set.Len(); i++ {
+		k := set.At(i).Key()
+		if seen[k] {
+			t.Fatalf("duplicate string %s", set.At(i))
+		}
+		seen[k] = true
+	}
+}
+
+func TestBuildHamiltonianDeterministic(t *testing.T) {
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: STO3G}
+	a, err := BuildHamiltonian(mol, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildHamiltonian(mol, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.At(i).Equal(b.At(i)) || a.Coeff(i) != b.Coeff(i) {
+			t.Fatalf("term %d differs", i)
+		}
+	}
+}
+
+func TestBuildHamiltonianStride(t *testing.T) {
+	mol := Molecule{Atoms: 3, Dim: 1, Basis: STO3G}
+	full, err := BuildHamiltonian(mol, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultHamiltonianOptions()
+	opts.Stride = 4
+	sub, err := BuildHamiltonian(mol, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() >= full.Len() {
+		t.Fatalf("stride did not shrink: %d vs %d", sub.Len(), full.Len())
+	}
+	if sub.Len() == 0 {
+		t.Fatal("stride removed everything")
+	}
+}
+
+func TestHamiltonianScalingWithBasis(t *testing.T) {
+	// Bigger basis => more qubits => more Pauli terms, mirroring Table II.
+	small, err := BuildHamiltonian(Molecule{Atoms: 2, Dim: 1, Basis: STO3G}, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BuildHamiltonian(Molecule{Atoms: 2, Dim: 1, Basis: B631G}, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() <= small.Len() {
+		t.Errorf("631g (%d terms) not larger than sto3g (%d terms)", big.Len(), small.Len())
+	}
+}
+
+func TestComboScaleAndIPow(t *testing.T) {
+	c := NewCombo(2)
+	c.Add(pauli.MustParse("XY"), 2)
+	c.Scale(complex(0, 1))
+	for _, term := range c.terms {
+		if term.coeff != complex(0, 2) {
+			t.Fatalf("scaled coeff = %v", term.coeff)
+		}
+	}
+	wants := []complex128{1, complex(0, 1), -1, complex(0, -1)}
+	for k, want := range wants {
+		if iPow(k) != want {
+			t.Errorf("iPow(%d) = %v", k, iPow(k))
+		}
+	}
+}
+
+func TestCanonQuadIsCanonicalQuick(t *testing.T) {
+	f := func(p, q, r, s uint8) bool {
+		P, Q, R, S := int(p%16), int(q%16), int(r%16), int(s%16)
+		cp, cq, cr, cs := canonQuad(P, Q, R, S)
+		// Canonical form must be invariant across the orbit.
+		for _, alt := range [][4]int{{Q, P, S, R}, {S, R, Q, P}, {R, S, P, Q}} {
+			ap, aq, ar, as := canonQuad(alt[0], alt[1], alt[2], alt[3])
+			if ap != cp || aq != cq || ar != cr || as != cs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommuteDensityNearHalf(t *testing.T) {
+	// The paper's central claim about the workload: the commutation
+	// (complement) graph is roughly 50% dense. Verify on a real instance.
+	mol := Molecule{Atoms: 2, Dim: 1, Basis: B631G} // 8 qubits
+	set, err := BuildHamiltonian(mol, DefaultHamiltonianOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := set.Len()
+	edges := set.CountComplementEdges()
+	density := float64(edges) / (float64(n) * float64(n-1) / 2)
+	if density < 0.3 || density > 0.85 {
+		t.Errorf("commutation density %.2f outside the dense band (n=%d)", density, n)
+	}
+}

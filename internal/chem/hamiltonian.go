@@ -1,0 +1,122 @@
+package chem
+
+import (
+	"fmt"
+
+	"picasso/internal/pauli"
+)
+
+// HamiltonianOptions control the synthetic Hamiltonian build.
+type HamiltonianOptions struct {
+	// Seed drives the deterministic pseudo-random integral magnitudes.
+	Seed uint64
+	// IntegralCutoff drops |integral| below this before the JW expansion.
+	IntegralCutoff float64
+	// CoeffTolerance drops Pauli terms with |coefficient| <= this after
+	// accumulation (numerical cancellation noise).
+	CoeffTolerance float64
+	// Stride subsamples the two-electron quadruple loop: only every
+	// Stride-th surviving quadruple is expanded. 1 (default) keeps all;
+	// larger values shrink instances for quick runs while preserving the
+	// string structure. Recorded per experiment in EXPERIMENTS.md.
+	Stride int
+	// HermiticityTol is the maximum tolerated |Im(coeff)|; exceeded means a
+	// bug in the integral symmetry and the build fails loudly.
+	HermiticityTol float64
+}
+
+// DefaultHamiltonianOptions returns the options used by the experiment
+// harness.
+func DefaultHamiltonianOptions() HamiltonianOptions {
+	return HamiltonianOptions{
+		Seed:           0x9127_55AA,
+		IntegralCutoff: 1e-6,
+		CoeffTolerance: 1e-10,
+		Stride:         1,
+		HermiticityTol: 1e-9,
+	}
+}
+
+// BuildHamiltonian constructs the Pauli expansion of the synthetic
+// second-quantized Hamiltonian
+//
+//	H = Σ_pq h_pq a†_p a_q + ½ Σ_pqrs g_pqrs a†_p a†_q a_r a_s
+//
+// over spin orbitals, via the exact Jordan–Wigner transform. The returned
+// set carries real coefficients and is deterministically ordered; it is the
+// vertex set of the coloring instance (paper §II, Table II).
+func BuildHamiltonian(mol Molecule, opts HamiltonianOptions) (*pauli.Set, error) {
+	if opts.Stride < 1 {
+		opts.Stride = 1
+	}
+	ints, err := NewIntegrals(mol, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	n := ints.SpinOrbitals()
+	acc := NewAccumulator(n)
+
+	// Cache ladder operators; they are reused heavily.
+	raises := make([]*Combo, n)
+	lowers := make([]*Combo, n)
+	for p := 0; p < n; p++ {
+		raises[p] = Raise(p, n)
+		lowers[p] = Lower(p, n)
+	}
+
+	// One-electron part.
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			h := ints.OneBodySpin(p, q)
+			if absf(h) < opts.IntegralCutoff {
+				continue
+			}
+			acc.AddCombo(raises[p].Mul(lowers[q]), complex(h, 0))
+		}
+	}
+
+	// Two-electron part: a†_p a†_q a_r a_s with p≠q, r≠s and spin
+	// conservation. Stride subsampling decides per *canonical* quadruple
+	// (hash of the symmetry-orbit representative), so a kept term's
+	// hermitian partner is always kept too and the expansion stays real.
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					if r == s {
+						continue
+					}
+					g := ints.TwoBodySpin(p, q, r, s)
+					if absf(g) < opts.IntegralCutoff {
+						continue
+					}
+					if opts.Stride > 1 {
+						cp, cq, cr, cs := canonQuad(p, q, r, s)
+						h := splitmix64(opts.Seed ^ 0x51DE<<48 ^
+							uint64(cp)<<36 ^ uint64(cq)<<24 ^ uint64(cr)<<12 ^ uint64(cs))
+						if h%uint64(opts.Stride) != 0 {
+							continue
+						}
+					}
+					prod := raises[p].Mul(raises[q]).Mul(lowers[r]).Mul(lowers[s])
+					acc.AddCombo(prod, complex(0.5*g, 0))
+				}
+			}
+		}
+	}
+
+	if im := acc.MaxImag(); im > opts.HermiticityTol {
+		return nil, fmt.Errorf("chem: hermiticity violated, max |Im| = %g", im)
+	}
+	return acc.ToSet(opts.CoeffTolerance), nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

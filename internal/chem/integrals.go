@@ -1,0 +1,196 @@
+package chem
+
+import (
+	"math"
+)
+
+// Integrals produces deterministic synthetic one- and two-electron integrals
+// for a hydrogen system. Magnitudes decay exponentially with the distance
+// between the host atoms of the involved orbitals; signs and fine structure
+// come from a splitmix64 hash of the canonicalized index tuple, so the same
+// (molecule, seed) always yields the same Hamiltonian. The full hermitian
+// symmetry (h_pq = h_qp, g_pqrs = g_srqp = g_qpsr = g_rspq) is enforced by
+// canonicalizing the tuple before hashing, which guarantees the resulting
+// operator is Hermitian and therefore has a real Pauli expansion.
+type Integrals struct {
+	Mol  Molecule
+	Pos  []Vec3
+	Seed uint64
+
+	// labels assigns each spatial orbital a pseudo-irrep label in
+	// Z_symOrder. Point-group selection rules — the reason symmetric (3D)
+	// geometries have *fewer* Pauli terms than chains in the paper's
+	// Table II — are emulated by zeroing integrals whose labels violate a
+	// product rule. symOrder grows with geometric symmetry (dim+1), so
+	// more integrals vanish for compact arrangements.
+	labels   []int
+	symOrder int
+}
+
+// NewIntegrals builds the synthetic integral table for a molecule.
+func NewIntegrals(mol Molecule, seed uint64) (*Integrals, error) {
+	pos, err := HydrogenPositions(mol.Atoms, mol.Dim)
+	if err != nil {
+		return nil, err
+	}
+	in := &Integrals{Mol: mol, Pos: pos, Seed: seed, symOrder: mol.Dim + 1}
+	no := mol.SpatialOrbitals()
+	in.labels = make([]int, no)
+	for o := 0; o < no; o++ {
+		h := splitmix64(seed ^ 0x1ABE1<<40 ^ uint64(mol.OrbitalCenter(o))<<20 ^ uint64(mol.OrbitalShell(o)))
+		in.labels[o] = int(h % uint64(in.symOrder))
+	}
+	return in, nil
+}
+
+// Label returns the pseudo-irrep label of spatial orbital o.
+func (in *Integrals) Label(o int) int { return in.labels[o] }
+
+// SymmetryOrder returns the emulated point-group order (labels live in
+// Z_SymmetryOrder).
+func (in *Integrals) SymmetryOrder() int { return in.symOrder }
+
+// oneBodyAllowed applies the emulated selection rule for h_pq: the orbitals
+// must carry the same irrep label (diagonal terms always pass).
+func (in *Integrals) oneBodyAllowed(p, q int) bool {
+	return in.labels[p] == in.labels[q]
+}
+
+// twoBodyAllowed applies the rule for g_pqrs (physicist ordering): the
+// label sum of the creation pair must match that of the annihilation pair
+// modulo the symmetry order. Coulomb-like terms g_pqqp always pass.
+func (in *Integrals) twoBodyAllowed(p, q, r, s int) bool {
+	return (in.labels[p]+in.labels[q])%in.symOrder == (in.labels[r]+in.labels[s])%in.symOrder
+}
+
+// splitmix64 is the standard avalanche mixer; deterministic hash of state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a hash to (0, 1].
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 1) / float64(1<<53)
+}
+
+// signed maps a hash to [-1, 1] \ {0}.
+func signed(h uint64) float64 {
+	u := unit(h)
+	if h&1 == 0 {
+		return u
+	}
+	return -u
+}
+
+// orbitalDecayLength returns the decay length for a pair of shells; diffuse
+// shells (6-31g/6-311g outer functions) decay more slowly, coupling more
+// distant centers — that is what drives the larger term counts of the bigger
+// bases in Table II.
+func (in *Integrals) orbitalDecayLength(o1, o2 int) float64 {
+	s := in.Mol.OrbitalShell(o1)
+	if t := in.Mol.OrbitalShell(o2); t > s {
+		s = t
+	}
+	return 1.0 + 0.75*float64(s)
+}
+
+// orbitalDistance returns the distance between the host atoms of two
+// spatial orbitals.
+func (in *Integrals) orbitalDistance(o1, o2 int) float64 {
+	return Dist(in.Pos[in.Mol.OrbitalCenter(o1)], in.Pos[in.Mol.OrbitalCenter(o2)])
+}
+
+// OneBody returns h_{pq} for spatial orbitals p, q (symmetric in p, q).
+func (in *Integrals) OneBody(p, q int) float64 {
+	if p > q {
+		p, q = q, p
+	}
+	if !in.oneBodyAllowed(p, q) {
+		return 0
+	}
+	d := in.orbitalDistance(p, q)
+	lambda := in.orbitalDecayLength(p, q)
+	decay := math.Exp(-d / lambda)
+	h := splitmix64(in.Seed ^ 0x0107<<48 ^ uint64(p)<<24 ^ uint64(q))
+	if p == q {
+		// Diagonal: orbital energies, negative (bound states), shell-dependent.
+		return -(0.5 + unit(h)) / (1 + float64(in.Mol.OrbitalShell(p)))
+	}
+	return 0.35 * signed(h) * decay
+}
+
+// TwoBody returns g_{pqrs} for spatial orbitals in physicist ordering
+// a†_p a†_q a_r a_s. The value is invariant under the hermitian symmetry
+// (p,q,r,s) -> (s,r,q,p) and electron relabeling (p,q,r,s) -> (q,p,s,r).
+func (in *Integrals) TwoBody(p, q, r, s int) float64 {
+	if !in.twoBodyAllowed(p, q, r, s) {
+		return 0
+	}
+	cp, cq, cr, cs := canonQuad(p, q, r, s)
+	// Magnitude: decays with the spread of the four orbital centers.
+	spread := in.orbitalDistance(cp, cs) + in.orbitalDistance(cq, cr)
+	lambda := in.orbitalDecayLength(cp, cs)
+	if l2 := in.orbitalDecayLength(cq, cr); l2 > lambda {
+		lambda = l2
+	}
+	decay := math.Exp(-spread / lambda)
+	h := splitmix64(in.Seed ^ 0x0202<<48 ^
+		uint64(cp)<<36 ^ uint64(cq)<<24 ^ uint64(cr)<<12 ^ uint64(cs))
+	base := 0.25 * signed(h)
+	if cp == cs && cq == cr {
+		// Coulomb-like diagonal terms: positive and dominant.
+		base = 0.45 + 0.3*unit(h)
+	}
+	return base * decay
+}
+
+// canonQuad maps an index quadruple to the lexicographically smallest member
+// of its symmetry orbit {(p,q,r,s), (q,p,s,r), (s,r,q,p), (r,s,p,q)}.
+func canonQuad(p, q, r, s int) (int, int, int, int) {
+	type quad [4]int
+	best := quad{p, q, r, s}
+	for _, cand := range []quad{{q, p, s, r}, {s, r, q, p}, {r, s, p, q}} {
+		for i := 0; i < 4; i++ {
+			if cand[i] < best[i] {
+				best = cand
+				break
+			}
+			if cand[i] > best[i] {
+				break
+			}
+		}
+	}
+	return best[0], best[1], best[2], best[3]
+}
+
+// Spin-orbital helpers. Spin orbital P = 2*spatial + spin, spin in {0, 1}.
+
+// SpinOrbitals returns the number of spin orbitals (qubits).
+func (in *Integrals) SpinOrbitals() int { return 2 * in.Mol.SpatialOrbitals() }
+
+// Spatial returns the spatial orbital of spin orbital P.
+func Spatial(P int) int { return P / 2 }
+
+// SpinOf returns the spin (0 or 1) of spin orbital P.
+func SpinOf(P int) int { return P % 2 }
+
+// OneBodySpin returns h for spin orbitals, zero unless spins match.
+func (in *Integrals) OneBodySpin(P, Q int) float64 {
+	if SpinOf(P) != SpinOf(Q) {
+		return 0
+	}
+	return in.OneBody(Spatial(P), Spatial(Q))
+}
+
+// TwoBodySpin returns g for spin orbitals in physicist ordering
+// a†_P a†_Q a_R a_S; nonzero only when spin is conserved on the (P,S) and
+// (Q,R) legs.
+func (in *Integrals) TwoBodySpin(P, Q, R, S int) float64 {
+	if SpinOf(P) != SpinOf(S) || SpinOf(Q) != SpinOf(R) {
+		return 0
+	}
+	return in.TwoBody(Spatial(P), Spatial(Q), Spatial(R), Spatial(S))
+}

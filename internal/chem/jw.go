@@ -1,0 +1,195 @@
+package chem
+
+import (
+	"picasso/internal/pauli"
+)
+
+// Combo is a linear combination of Pauli strings with complex coefficients:
+// the working representation for operators mid Jordan–Wigner transform.
+type Combo struct {
+	n     int
+	terms map[string]comboTerm
+}
+
+type comboTerm struct {
+	str   pauli.String
+	coeff complex128
+}
+
+// NewCombo returns an empty combination on n qubits.
+func NewCombo(n int) *Combo {
+	return &Combo{n: n, terms: make(map[string]comboTerm)}
+}
+
+// Add accumulates coeff * str into the combination.
+func (c *Combo) Add(str pauli.String, coeff complex128) {
+	k := str.Key()
+	t, ok := c.terms[k]
+	if !ok {
+		c.terms[k] = comboTerm{str: str, coeff: coeff}
+		return
+	}
+	t.coeff += coeff
+	c.terms[k] = t
+}
+
+// Len returns the number of stored terms (including numerically zero ones).
+func (c *Combo) Len() int { return len(c.terms) }
+
+// Mul returns the operator product a·b expanded into Pauli terms. Phases
+// i^k from the single-string products are folded into the coefficients.
+func (c *Combo) Mul(o *Combo) *Combo {
+	out := NewCombo(c.n)
+	for _, ta := range c.terms {
+		for _, tb := range o.terms {
+			prod, k := ta.str.Mul(tb.str)
+			out.Add(prod, ta.coeff*tb.coeff*iPow(k))
+		}
+	}
+	return out
+}
+
+// Scale multiplies every coefficient in place and returns the receiver.
+func (c *Combo) Scale(f complex128) *Combo {
+	for k, t := range c.terms {
+		t.coeff *= f
+		c.terms[k] = t
+	}
+	return c
+}
+
+// iPow returns i^k for k in 0..3.
+func iPow(k int) complex128 {
+	switch k & 3 {
+	case 0:
+		return 1
+	case 1:
+		return complex(0, 1)
+	case 2:
+		return -1
+	}
+	return complex(0, -1)
+}
+
+// Lower returns the Jordan–Wigner image of the annihilation operator a_p on
+// n qubits: Z_0 … Z_{p-1} (X_p + i Y_p) / 2.
+func Lower(p, n int) *Combo {
+	c := NewCombo(n)
+	x := jwBase(p, n, pauli.X)
+	y := jwBase(p, n, pauli.Y)
+	c.Add(x, 0.5)
+	c.Add(y, complex(0, 0.5))
+	return c
+}
+
+// Raise returns the JW image of the creation operator a†_p on n qubits:
+// Z_0 … Z_{p-1} (X_p − i Y_p) / 2.
+func Raise(p, n int) *Combo {
+	c := NewCombo(n)
+	x := jwBase(p, n, pauli.X)
+	y := jwBase(p, n, pauli.Y)
+	c.Add(x, 0.5)
+	c.Add(y, complex(0, -0.5))
+	return c
+}
+
+// jwBase builds Z^{⊗p} ⊗ op_p ⊗ I^{⊗(n-p-1)}.
+func jwBase(p, n int, op pauli.Op) pauli.String {
+	s := pauli.NewString(n)
+	for i := 0; i < p; i++ {
+		s.Set(i, pauli.Z)
+	}
+	s.Set(p, op)
+	return s
+}
+
+// Number returns the JW image of the number operator a†_p a_p = (I − Z_p)/2.
+// Provided for tests; the generic product machinery reproduces it.
+func Number(p, n int) *Combo {
+	c := NewCombo(n)
+	c.Add(pauli.NewString(n), 0.5)
+	z := pauli.NewString(n)
+	z.Set(p, pauli.Z)
+	c.Add(z, -0.5)
+	return c
+}
+
+// Accumulator gathers weighted combos into a single real Pauli expansion.
+type Accumulator struct {
+	n     int
+	terms map[string]comboTerm
+}
+
+// NewAccumulator returns an empty accumulator on n qubits.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{n: n, terms: make(map[string]comboTerm)}
+}
+
+// AddCombo accumulates weight * combo.
+func (a *Accumulator) AddCombo(c *Combo, weight complex128) {
+	for k, t := range c.terms {
+		prev, ok := a.terms[k]
+		if !ok {
+			a.terms[k] = comboTerm{str: t.str, coeff: t.coeff * weight}
+			continue
+		}
+		prev.coeff += t.coeff * weight
+		a.terms[k] = prev
+	}
+}
+
+// AddComboHermitian accumulates the two Hermitian components of weight·C:
+// writing C = A + iB with A = (C+C†)/2 and B = (C−C†)/2i (both Hermitian,
+// since Pauli strings are Hermitian this is just Re and Im of each
+// coefficient), it adds weight·(A + B). Used for the ansatz products, which
+// are not individually Hermitian but whose full string support must appear
+// in the measurement workload.
+func (a *Accumulator) AddComboHermitian(c *Combo, weight float64) {
+	for k, t := range c.terms {
+		re := complex((real(t.coeff)+imag(t.coeff))*weight, 0)
+		prev, ok := a.terms[k]
+		if !ok {
+			a.terms[k] = comboTerm{str: t.str, coeff: re}
+			continue
+		}
+		prev.coeff += re
+		a.terms[k] = prev
+	}
+}
+
+// Len returns the current number of distinct strings.
+func (a *Accumulator) Len() int { return len(a.terms) }
+
+// MaxImag returns the largest |Im(coeff)| across terms — a hermiticity
+// check: a correctly built molecular Hamiltonian has a real expansion.
+func (a *Accumulator) MaxImag() float64 {
+	m := 0.0
+	for _, t := range a.terms {
+		if im := abs(imag(t.coeff)); im > m {
+			m = im
+		}
+	}
+	return m
+}
+
+// ToSet extracts the real Pauli expansion, dropping terms with |Re| <= tol,
+// in a deterministic (weight-then-lexicographic) order.
+func (a *Accumulator) ToSet(tol float64) *pauli.Set {
+	s := pauli.NewSetCapacity(a.n, len(a.terms))
+	for _, t := range a.terms {
+		re := real(t.coeff)
+		if abs(re) <= tol {
+			continue
+		}
+		s.AppendWithCoeff(t.str, re)
+	}
+	s.SortByWeight()
+	return s
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,103 @@
+package chem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Basis identifies a Gaussian basis set by the number of spatial orbitals it
+// contributes per hydrogen atom.
+type Basis string
+
+// Bases used in the paper's Table II.
+const (
+	STO3G  Basis = "sto3g" // 1 orbital per H
+	B631G  Basis = "631g"  // 2 orbitals per H
+	B6311G Basis = "6311g" // 3 orbitals per H
+)
+
+// OrbitalsPerAtom returns the number of spatial orbitals a hydrogen atom
+// contributes in this basis.
+func (b Basis) OrbitalsPerAtom() (int, error) {
+	switch b {
+	case STO3G:
+		return 1, nil
+	case B631G:
+		return 2, nil
+	case B6311G:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("chem: unknown basis %q", b)
+}
+
+// Molecule describes a hydrogen system instance: Hn atoms in a 1D/2D/3D
+// arrangement with a given basis. Qubits = 2 (spin) x atoms x orbitals.
+type Molecule struct {
+	Atoms int // number of hydrogen atoms (the n of Hn)
+	Dim   int // 1, 2 or 3
+	Basis Basis
+}
+
+// Name renders the paper's naming convention, e.g. "H6 3D sto3g".
+func (m Molecule) Name() string {
+	return fmt.Sprintf("H%d %dD %s", m.Atoms, m.Dim, m.Basis)
+}
+
+// Qubits returns the number of spin orbitals (= qubits after JW).
+func (m Molecule) Qubits() int {
+	per, err := m.Basis.OrbitalsPerAtom()
+	if err != nil {
+		return 0
+	}
+	return 2 * m.Atoms * per
+}
+
+// SpatialOrbitals returns the number of spatial orbitals.
+func (m Molecule) SpatialOrbitals() int {
+	per, err := m.Basis.OrbitalsPerAtom()
+	if err != nil {
+		return 0
+	}
+	return m.Atoms * per
+}
+
+// ParseMolecule parses names of the form "H6 3D sto3g" (case-insensitive,
+// flexible whitespace/underscores).
+func ParseMolecule(name string) (Molecule, error) {
+	fields := strings.Fields(strings.ReplaceAll(strings.ToLower(name), "_", " "))
+	if len(fields) != 3 {
+		return Molecule{}, fmt.Errorf("chem: malformed molecule name %q", name)
+	}
+	var atoms, dim int
+	if _, err := fmt.Sscanf(fields[0], "h%d", &atoms); err != nil {
+		return Molecule{}, fmt.Errorf("chem: bad atom field in %q: %v", name, err)
+	}
+	if _, err := fmt.Sscanf(fields[1], "%dd", &dim); err != nil {
+		return Molecule{}, fmt.Errorf("chem: bad dimension field in %q: %v", name, err)
+	}
+	mol := Molecule{Atoms: atoms, Dim: dim, Basis: Basis(fields[2])}
+	if _, err := mol.Basis.OrbitalsPerAtom(); err != nil {
+		return Molecule{}, err
+	}
+	if dim < 1 || dim > 3 {
+		return Molecule{}, fmt.Errorf("chem: dimension %d out of range", dim)
+	}
+	if atoms <= 0 {
+		return Molecule{}, fmt.Errorf("chem: nonpositive atom count in %q", name)
+	}
+	return mol, nil
+}
+
+// OrbitalCenter maps a spatial orbital index to the atom that hosts it.
+// Orbitals are laid out atom-major: orbital o belongs to atom o / perAtom.
+func (m Molecule) OrbitalCenter(o int) int {
+	per, _ := m.Basis.OrbitalsPerAtom()
+	return o / per
+}
+
+// OrbitalShell returns the shell index (0-based) of a spatial orbital within
+// its atom; diffuse shells (higher index) have slower integral decay.
+func (m Molecule) OrbitalShell(o int) int {
+	per, _ := m.Basis.OrbitalsPerAtom()
+	return o % per
+}

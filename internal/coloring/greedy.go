@@ -1,0 +1,225 @@
+// Package coloring implements the sequential greedy baselines the paper
+// compares against (its ColPack stand-in, §III and Table III): first-fit
+// greedy coloring under the Natural, Random, Largest-Degree-First (LF),
+// Smallest-Degree-Last (SL), Dynamic-Largest-Degree-First (DLF) and
+// Incidence-Degree (ID) vertex orderings. All of them operate on an
+// explicit CSR graph — that is the point: they require the whole graph
+// (here, the dense complement) in memory, which is exactly the cost
+// Picasso avoids.
+package coloring
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"picasso/internal/bucket"
+	"picasso/internal/graph"
+)
+
+// Ordering names a vertex-ordering heuristic.
+type Ordering string
+
+// The orderings benchmarked in the paper's Table III.
+const (
+	Natural Ordering = "NAT"
+	Random  Ordering = "RND"
+	LF      Ordering = "LF"  // static largest degree first
+	SL      Ordering = "SL"  // smallest degree last (degeneracy order)
+	DLF     Ordering = "DLF" // dynamic largest degree first
+	ID      Ordering = "ID"  // incidence degree
+)
+
+// AllOrderings lists every supported ordering.
+func AllOrderings() []Ordering {
+	return []Ordering{Natural, Random, LF, SL, DLF, ID}
+}
+
+// Greedy colors g with first-fit under the given ordering and returns the
+// coloring and the number of colors. rng is used only by Random ordering
+// (and may be nil otherwise).
+func Greedy(g *graph.CSR, ord Ordering, rng *rand.Rand) (graph.Coloring, int, error) {
+	switch ord {
+	case Natural:
+		return greedyStatic(g, naturalOrder(g.N)), g.N, nil
+	case Random:
+		if rng == nil {
+			return nil, 0, fmt.Errorf("coloring: Random ordering requires rng")
+		}
+		order := naturalOrder(g.N)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		return greedyStatic(g, order), g.N, nil
+	case LF:
+		return greedyStatic(g, largestFirstOrder(g)), g.N, nil
+	case SL:
+		return greedyStatic(g, smallestLastOrder(g)), g.N, nil
+	case DLF:
+		return greedyDynamicLargest(g), g.N, nil
+	case ID:
+		return greedyIncidence(g), g.N, nil
+	}
+	return nil, 0, fmt.Errorf("coloring: unknown ordering %q", ord)
+}
+
+// Colors is a convenience wrapper returning only the color count.
+func Colors(g *graph.CSR, ord Ordering, rng *rand.Rand) (int, error) {
+	c, _, err := Greedy(g, ord, rng)
+	if err != nil {
+		return 0, err
+	}
+	return c.NumColors(), nil
+}
+
+func naturalOrder(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// greedyStatic assigns each vertex, in order, the smallest color unused by
+// its already-colored neighbors, using the classic forbidden-color array.
+func greedyStatic(g *graph.CSR, order []int32) graph.Coloring {
+	colors := graph.NewColoring(g.N)
+	forbidden := make([]int32, g.MaxDegree()+1)
+	for i := range forbidden {
+		forbidden[i] = -1
+	}
+	for _, u := range order {
+		for _, v := range g.Neighbors(int(u)) {
+			if c := colors[v]; c >= 0 && int(c) < len(forbidden) {
+				forbidden[c] = u
+			}
+		}
+		c := int32(0)
+		for int(c) < len(forbidden) && forbidden[c] == u {
+			c++
+		}
+		colors[u] = c
+	}
+	return colors
+}
+
+// largestFirstOrder sorts vertices by decreasing degree (ties by id for
+// determinism).
+func largestFirstOrder(g *graph.CSR) []int32 {
+	order := naturalOrder(g.N)
+	sort.SliceStable(order, func(i, j int) bool {
+		du, dv := g.Degree(int(order[i])), g.Degree(int(order[j]))
+		if du != dv {
+			return du > dv
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// smallestLastOrder computes the degeneracy (smallest-degree-last) order:
+// repeatedly delete a minimum-degree vertex; color in reverse deletion
+// order. Linear with the bucket array.
+func smallestLastOrder(g *graph.CSR) []int32 {
+	n := g.N
+	b := bucket.New(n, maxInt(g.MaxDegree(), 0))
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		b.Insert(int32(u), deg[u])
+	}
+	removed := make([]bool, n)
+	order := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		v := b.PickFromMin(0)
+		b.Remove(v)
+		removed[v] = true
+		order[i] = v
+		for _, w := range g.Neighbors(int(v)) {
+			if !removed[w] {
+				deg[w]--
+				b.Update(w, deg[w])
+			}
+		}
+	}
+	return order
+}
+
+// greedyDynamicLargest colors the vertex with the largest *dynamic* degree
+// (edges to still-uncolored vertices) first. The bucket array stores
+// maxDeg - dynamicDegree so the minimum bucket is the maximum degree.
+func greedyDynamicLargest(g *graph.CSR) graph.Coloring {
+	n := g.N
+	maxDeg := g.MaxDegree()
+	colors := graph.NewColoring(n)
+	forbidden := make([]int32, maxDeg+1)
+	for i := range forbidden {
+		forbidden[i] = -1
+	}
+	b := bucket.New(n, maxDeg)
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		b.Insert(int32(u), maxDeg-deg[u])
+	}
+	for b.Len() > 0 {
+		u := b.PickFromMin(0)
+		b.Remove(u)
+		assignSmallest(g, colors, forbidden, u)
+		for _, w := range g.Neighbors(int(u)) {
+			if colors[w] == graph.Uncolored {
+				deg[w]--
+				b.Update(w, maxDeg-deg[w])
+			}
+		}
+	}
+	return colors
+}
+
+// greedyIncidence colors the uncolored vertex with the most already-colored
+// neighbors (incidence degree) first; the bucket stores n - incidence so
+// the minimum bucket is the maximum incidence.
+func greedyIncidence(g *graph.CSR) graph.Coloring {
+	n := g.N
+	colors := graph.NewColoring(n)
+	forbidden := make([]int32, g.MaxDegree()+1)
+	for i := range forbidden {
+		forbidden[i] = -1
+	}
+	b := bucket.New(n, n)
+	inc := make([]int, n)
+	for u := 0; u < n; u++ {
+		b.Insert(int32(u), n)
+	}
+	for b.Len() > 0 {
+		u := b.PickFromMin(0)
+		b.Remove(u)
+		assignSmallest(g, colors, forbidden, u)
+		for _, w := range g.Neighbors(int(u)) {
+			if colors[w] == graph.Uncolored {
+				inc[w]++
+				b.Update(w, n-inc[w])
+			}
+		}
+	}
+	return colors
+}
+
+// assignSmallest gives u the smallest color not used by its neighbors.
+func assignSmallest(g *graph.CSR, colors graph.Coloring, forbidden []int32, u int32) {
+	for _, v := range g.Neighbors(int(u)) {
+		if c := colors[v]; c >= 0 && int(c) < len(forbidden) {
+			forbidden[c] = u
+		}
+	}
+	c := int32(0)
+	for int(c) < len(forbidden) && forbidden[c] == u {
+		c++
+	}
+	colors[u] = c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"picasso/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed uint64) *graph.CSR {
+	return graph.Materialize(graph.RandomOracle{N: n, P: p, Seed: seed})
+}
+
+func TestAllOrderingsProduceValidColorings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, p := range []float64{0.1, 0.5, 0.9} {
+			g := randomGraph(80, p, seed)
+			for _, ord := range AllOrderings() {
+				c, _, err := Greedy(g, ord, rng)
+				if err != nil {
+					t.Fatalf("%s: %v", ord, err)
+				}
+				if err := graph.VerifyCSR(g, c); err != nil {
+					t.Fatalf("%s on p=%v seed=%d: %v", ord, p, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyRespectsDeltaPlusOne(t *testing.T) {
+	// First-fit under any order uses at most ∆+1 colors.
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(120, 0.4, 99)
+	bound := g.MaxDegree() + 1
+	for _, ord := range AllOrderings() {
+		c, _, err := Greedy(g, ord, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.NumColors(); got > bound {
+			t.Errorf("%s used %d colors > ∆+1 = %d", ord, got, bound)
+		}
+	}
+}
+
+func TestCompleteGraphNeedsNColors(t *testing.T) {
+	n := 25
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range AllOrderings() {
+		c, _, err := Greedy(g, ord, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.NumColors(); got != n {
+			t.Errorf("%s on K%d used %d colors", ord, n, got)
+		}
+	}
+}
+
+func TestEdgelessGraphOneColor(t *testing.T) {
+	g, err := graph.FromEdges(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range AllOrderings() {
+		c, _, err := Greedy(g, ord, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.NumColors(); got != 1 {
+			t.Errorf("%s on edgeless graph used %d colors", ord, got)
+		}
+	}
+}
+
+func TestBipartiteSLOptimal(t *testing.T) {
+	// Smallest-last is optimal (2 colors) on trees/forests and even cycles.
+	g, err := graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := Greedy(g, SL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumColors(); got != 2 {
+		t.Errorf("SL on C6 used %d colors, want 2", got)
+	}
+}
+
+func TestCrownGraphLFBeatsNatural(t *testing.T) {
+	// The crown graph (K_{n,n} minus a perfect matching) with interleaved
+	// natural order is the classic witness that ordering matters: natural
+	// first-fit uses n colors, degree-aware orders do much better. Here we
+	// only assert that all orders remain valid and SL achieves 2.
+	n := 8
+	var edges [][2]int32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, [2]int32{int32(2 * i), int32(2*j + 1)})
+			}
+		}
+	}
+	// Deduplicate (u,v) vs (v,u) orientation: keep u < v.
+	uniq := map[[2]int32]bool{}
+	var clean [][2]int32
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int32{u, v}
+		if !uniq[k] {
+			uniq[k] = true
+			clean = append(clean, k)
+		}
+	}
+	g, err := graph.FromEdges(2*n, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, _, err := Greedy(g, Natural, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, _, err := Greedy(g, SL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyCSR(g, nat); err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.NumColors(); got != 2 {
+		t.Errorf("SL on crown graph used %d colors, want 2", got)
+	}
+	if nat.NumColors() < sl.NumColors() {
+		t.Errorf("unexpected: natural (%d) beat SL (%d)", nat.NumColors(), sl.NumColors())
+	}
+}
+
+func TestRandomOrderingRequiresRNG(t *testing.T) {
+	g := randomGraph(10, 0.5, 1)
+	if _, _, err := Greedy(g, Random, nil); err == nil {
+		t.Fatal("Random without rng accepted")
+	}
+}
+
+func TestUnknownOrdering(t *testing.T) {
+	g := randomGraph(10, 0.5, 1)
+	if _, _, err := Greedy(g, Ordering("bogus"), nil); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+}
+
+func TestColorsWrapper(t *testing.T) {
+	g := randomGraph(40, 0.5, 4)
+	k, err := Colors(g, LF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 || k > g.N {
+		t.Fatalf("Colors = %d", k)
+	}
+}
+
+func TestDeterminismOfStaticOrders(t *testing.T) {
+	g := randomGraph(60, 0.5, 8)
+	for _, ord := range []Ordering{Natural, LF, SL, DLF, ID} {
+		a, _, _ := Greedy(g, ord, nil)
+		b, _, _ := Greedy(g, ord, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s nondeterministic at %d", ord, i)
+			}
+		}
+	}
+}
+
+func TestQualityOrderingOnDenseGraph(t *testing.T) {
+	// Mirror of the paper's Table III finding: degree-aware orders (SL,
+	// DLF) beat plain LF-natural on dense graphs. We assert weakly: best
+	// degree-aware <= natural.
+	g := randomGraph(150, 0.5, 77)
+	nat, _, _ := Greedy(g, Natural, nil)
+	dlf, _, _ := Greedy(g, DLF, nil)
+	sl, _, _ := Greedy(g, SL, nil)
+	best := minInt(dlf.NumColors(), sl.NumColors())
+	if best > nat.NumColors() {
+		t.Errorf("degree-aware (%d) worse than natural (%d)", best, nat.NumColors())
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignRandomListsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cl := assignRandomLists(100, 40, 7, rng)
+	if cl.n != 100 || cl.L != 7 {
+		t.Fatalf("shape %d/%d", cl.n, cl.L)
+	}
+	for i := 0; i < 100; i++ {
+		lst := cl.list(i)
+		if len(lst) != 7 {
+			t.Fatalf("vertex %d list length %d", i, len(lst))
+		}
+		seen := map[int32]bool{}
+		for k, c := range lst {
+			if c < 0 || c >= 40 {
+				t.Fatalf("vertex %d color %d out of palette", i, c)
+			}
+			if seen[c] {
+				t.Fatalf("vertex %d duplicate color %d", i, c)
+			}
+			seen[c] = true
+			if k > 0 && lst[k-1] >= c {
+				t.Fatalf("vertex %d list unsorted", i)
+			}
+		}
+	}
+}
+
+func TestAssignFullPalette(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cl := assignRandomLists(10, 5, 5, rng) // L == P: whole palette
+	for i := 0; i < 10; i++ {
+		lst := cl.list(i)
+		for k, c := range lst {
+			if int(c) != k {
+				t.Fatalf("full-palette list not identity: %v", lst)
+			}
+		}
+	}
+}
+
+func TestSignatureIsExactNegative(t *testing.T) {
+	// sig[i] & sig[j] == 0 must imply empty intersection (the converse may
+	// fail: mod-64 collisions give false positives, resolved by the merge).
+	rng := rand.New(rand.NewSource(3))
+	cl := assignRandomLists(200, 150, 9, rng)
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			merge := intersectSorted(cl.list(i), cl.list(j))
+			if cl.sig[i]&cl.sig[j] == 0 && merge {
+				t.Fatalf("signature missed an intersection at (%d,%d)", i, j)
+			}
+			if cl.sharesColor(i, j) != merge {
+				t.Fatalf("sharesColor != merge at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIntersectSortedQuick(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		// Build sorted distinct slices from the raw bytes.
+		mk := func(xs []uint8) []int32 {
+			seen := map[int32]bool{}
+			var out []int32
+			for _, x := range xs {
+				v := int32(x % 64)
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+			for i := 1; i < len(out); i++ {
+				for j := i; j > 0 && out[j] < out[j-1]; j-- {
+					out[j], out[j-1] = out[j-1], out[j]
+				}
+			}
+			return out
+		}
+		sa, sb := mk(a), mk(b)
+		want := false
+		for _, x := range sa {
+			for _, y := range sb {
+				if x == y {
+					want = true
+				}
+			}
+		}
+		return intersectSorted(sa, sb) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListBytesPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cl := assignRandomLists(50, 20, 4, rng)
+	if cl.Bytes() < 50*4*4 {
+		t.Fatalf("Bytes = %d", cl.Bytes())
+	}
+}
+
+func TestAssignDeterministicBySeed(t *testing.T) {
+	a := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)))
+	b := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)))
+	for i := range a.flat {
+		if a.flat[i] != b.flat[i] {
+			t.Fatal("same seed, different lists")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+
+	"picasso/internal/bucket"
+	"picasso/internal/graph"
+)
+
+// listColorResult is the outcome of coloring one iteration's conflict graph.
+type listColorResult struct {
+	assign  []int32 // palette-local color per conflict vertex, -1 = failed
+	failed  []int32 // vertices whose lists ran dry (the paper's V_u)
+	colored int     // number of successfully colored conflict vertices
+}
+
+// mutableLists copies the candidate lists of the conflict vertices into a
+// mutable working form (only vertices with conflict degree > 0 need one;
+// unconflicted vertices are colored directly by the caller).
+type mutableLists struct {
+	lists [][]int32
+}
+
+func newMutableLists(cl *colorLists, conflicted []int32) *mutableLists {
+	ml := &mutableLists{lists: make([][]int32, cl.n)}
+	for _, v := range conflicted {
+		src := cl.list(int(v))
+		ml.lists[v] = append(make([]int32, 0, len(src)), src...)
+	}
+	return ml
+}
+
+// remove deletes color c from vertex v's list if present (swap-with-last;
+// order is irrelevant at this stage). Reports whether a removal happened.
+func (ml *mutableLists) remove(v int32, c int32) bool {
+	lst := ml.lists[v]
+	for i, x := range lst {
+		if x == c {
+			lst[i] = lst[len(lst)-1]
+			ml.lists[v] = lst[:len(lst)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// colorConflictDynamic is the paper's Algorithm 2: vertices live in buckets
+// keyed by current list size; repeatedly pick a uniformly random vertex from
+// the lowest (most constrained) bucket, give it a uniformly random color
+// from its list, and strike that color from all uncolored conflict
+// neighbors, re-bucketing them (or declaring them failed when their list
+// empties). Runtime O((|Vc|+|Ec|)·L) — the heap-free bound of §IV-B.
+func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng *rand.Rand) *listColorResult {
+	ml := newMutableLists(cl, conflicted)
+	assign := make([]int32, cl.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	b := bucket.New(cl.n, cl.L)
+	for _, v := range conflicted {
+		b.Insert(v, len(ml.lists[v]))
+	}
+	res := &listColorResult{assign: assign}
+	for b.Len() > 0 {
+		v := b.PickFromMin(rng.Intn(b.MinBucketSize()))
+		lst := ml.lists[v]
+		c := lst[rng.Intn(len(lst))]
+		assign[v] = c
+		b.Remove(v)
+		res.colored++
+		for _, u := range gc.Neighbors(int(v)) {
+			if assign[u] != -1 || !b.Contains(u) {
+				continue
+			}
+			if !ml.remove(u, c) {
+				continue
+			}
+			if len(ml.lists[u]) == 0 {
+				b.Remove(u)
+				res.failed = append(res.failed, u)
+				continue
+			}
+			b.Update(u, len(ml.lists[u]))
+		}
+	}
+	return res
+}
+
+// colorConflictStatic colors the conflict vertices in a fixed order (the
+// paper's "static order schemes", §IV-B): each vertex takes the first color
+// of its list not already held by a colored conflict neighbor.
+func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, strategy ListStrategy, rng *rand.Rand) *listColorResult {
+	order := append([]int32(nil), conflicted...)
+	switch strategy {
+	case StaticNatural:
+		// ids ascending — conflicted is already in ascending id order.
+	case StaticLargest:
+		sortByConflictDegreeDesc(gc, order)
+	case StaticRandom:
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	assign := make([]int32, cl.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &listColorResult{assign: assign}
+	taken := make(map[int32]struct{}, cl.L)
+	for _, v := range order {
+		clear(taken)
+		for _, u := range gc.Neighbors(int(v)) {
+			if c := assign[u]; c != -1 {
+				taken[c] = struct{}{}
+			}
+		}
+		picked := int32(-1)
+		for _, c := range cl.list(int(v)) {
+			if _, bad := taken[c]; !bad {
+				picked = c
+				break
+			}
+		}
+		if picked == -1 {
+			res.failed = append(res.failed, v)
+			continue
+		}
+		assign[v] = picked
+		res.colored++
+	}
+	return res
+}
+
+// sortByConflictDegreeDesc orders vertices by decreasing conflict degree
+// with id tie-break (deterministic).
+func sortByConflictDegreeDesc(gc *graph.CSR, order []int32) {
+	// Counting sort by degree (degrees are small: O(log³ n) w.h.p.).
+	maxDeg := 0
+	for _, v := range order {
+		if d := gc.Degree(int(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for _, v := range order {
+		d := gc.Degree(int(v))
+		buckets[d] = append(buckets[d], v)
+	}
+	k := 0
+	for d := maxDeg; d >= 0; d-- {
+		for _, v := range buckets[d] {
+			order[k] = v
+			k++
+		}
+	}
+}

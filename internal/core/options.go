@@ -1,0 +1,136 @@
+// Package core implements Picasso, the paper's palette-based iterative
+// graph-coloring algorithm (Algorithm 1). Each iteration hands every active
+// vertex a random list of L = α·log n candidate colors from a fresh palette
+// of P colors, materializes only the *conflict subgraph* — the edges of the
+// input whose endpoints share a candidate color, provably O(n·log³n) of
+// them under the ∆/P = O(log n) assumption (§IV-C) — list-colors that small
+// graph (Algorithm 2), and recurses on the vertices whose lists ran dry.
+// The input graph itself is never stored: it is consulted through a
+// graph.Oracle edge test, which for the quantum workload is the AND+popcount
+// anticommutation check on encoded Pauli strings.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"picasso/internal/gpusim"
+	"picasso/internal/memtrack"
+)
+
+// ListStrategy selects how the conflict graph is list-colored.
+type ListStrategy string
+
+// Conflict-graph coloring strategies (paper §IV-B). The dynamic bucketed
+// strategy is the paper's Algorithm 2 and its default; static orders are
+// the comparison points of the ablation study.
+const (
+	DynamicBuckets ListStrategy = "dynamic" // Algorithm 2: most-constrained first
+	StaticNatural  ListStrategy = "natural"
+	StaticLargest  ListStrategy = "largest" // largest conflict-degree first
+	StaticRandom   ListStrategy = "random"
+)
+
+// Options parameterizes a Picasso run. The two headline knobs are the
+// palette fraction P (paper: percent of |V|) and the list-size factor α.
+type Options struct {
+	// PaletteFrac is the palette size as a fraction of the current active
+	// vertex count, e.g. 0.125 for the paper's "Normal" 12.5%. Ignored
+	// when PaletteSize > 0.
+	PaletteFrac float64
+	// PaletteSize optionally fixes the palette size in absolute colors.
+	PaletteSize int
+	// Alpha scales the list size: L = ceil(Alpha · log10 n), clamped to
+	// [1, palette size]. The decimal log matches the paper's reported
+	// operating points: with α = 2 and n ≈ 8700 it gives L = 8, which
+	// reproduces the ≤5–6% conflict-edge ratios of §VII-A1 (a natural or
+	// binary log would put the L²/P collision rate near 1).
+	Alpha float64
+	// Seed drives all randomness (list sampling, bucket tie-breaking).
+	Seed int64
+	// Workers sets the parallelism of conflict-graph construction:
+	// 1 = the paper's "CPU only" sequential build, 0 = GOMAXPROCS.
+	Workers int
+	// Device, when non-nil, routes conflict-graph construction through the
+	// simulated GPU (Algorithm 3) with its memory budget.
+	Device *gpusim.Device
+	// Strategy picks the conflict-graph coloring algorithm.
+	Strategy ListStrategy
+	// MaxIterations bounds the outer loop; when exceeded the remaining
+	// vertices receive fresh singleton colors (always proper) and the run
+	// is flagged. 0 means the default of 64.
+	MaxIterations int
+	// Tracker, when non-nil, receives host memory accounting (Table IV).
+	Tracker *memtrack.Tracker
+
+	// multiDevices distributes conflict-graph construction across a device
+	// group (set via ColorMultiDevice; the paper's multi-GPU future work).
+	multiDevices []*gpusim.Device
+}
+
+// Normal returns the paper's "Norm." configuration: P = 12.5%, α = 2.
+func Normal(seed int64) Options {
+	return Options{PaletteFrac: 0.125, Alpha: 2, Seed: seed, Strategy: DynamicBuckets}
+}
+
+// Aggressive returns the paper's "Aggr." configuration: P = 3%, α = 30.
+func Aggressive(seed int64) Options {
+	return Options{PaletteFrac: 0.03, Alpha: 30, Seed: seed, Strategy: DynamicBuckets}
+}
+
+// validate fills defaults and rejects nonsense.
+func (o *Options) validate() error {
+	if o.PaletteSize < 0 {
+		return fmt.Errorf("core: negative palette size %d", o.PaletteSize)
+	}
+	if o.PaletteSize == 0 {
+		if o.PaletteFrac <= 0 || o.PaletteFrac > 1 {
+			return fmt.Errorf("core: palette fraction %v outside (0, 1]", o.PaletteFrac)
+		}
+	}
+	if o.Alpha <= 0 {
+		return fmt.Errorf("core: alpha %v must be positive", o.Alpha)
+	}
+	if o.Strategy == "" {
+		o.Strategy = DynamicBuckets
+	}
+	switch o.Strategy {
+	case DynamicBuckets, StaticNatural, StaticLargest, StaticRandom:
+	default:
+		return fmt.Errorf("core: unknown list strategy %q", o.Strategy)
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 64
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("core: negative max iterations")
+	}
+	return nil
+}
+
+// paletteFor computes the iteration's palette size Pℓ for n active vertices.
+func (o *Options) paletteFor(n int) int {
+	p := o.PaletteSize
+	if p == 0 {
+		p = int(math.Round(o.PaletteFrac * float64(n)))
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// listSizeFor computes Lℓ = ceil(α·log10 n), clamped to [1, palette].
+func (o *Options) listSizeFor(n, palette int) int {
+	l := int(math.Ceil(o.Alpha * math.Log10(float64(n))))
+	if l < 1 {
+		l = 1
+	}
+	if l > palette {
+		l = palette
+	}
+	return l
+}

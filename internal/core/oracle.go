@@ -1,0 +1,49 @@
+package core
+
+import (
+	"picasso/internal/graph"
+	"picasso/internal/pauli"
+)
+
+// PauliOracle presents a set of Pauli strings as the graph Picasso colors:
+// vertices are strings and edges connect *commuting* pairs — the complement
+// G' of the anticommutation graph G (paper §II-B). Edges are computed on
+// demand from the packed encodings; nothing quadratic is ever stored.
+type PauliOracle struct {
+	Set *pauli.Set
+}
+
+// NewPauliOracle wraps a string set.
+func NewPauliOracle(s *pauli.Set) PauliOracle { return PauliOracle{Set: s} }
+
+// NumVertices returns the number of Pauli strings.
+func (p PauliOracle) NumVertices() int { return p.Set.Len() }
+
+// HasEdge reports whether strings u and v commute (and differ).
+func (p PauliOracle) HasEdge(u, v int) bool { return p.Set.CommuteEdge(u, v) }
+
+// DeviceBytes reports the encoded-slab size copied to the device in the
+// GPU construction path (Algorithm 3 preprocessing).
+func (p PauliOracle) DeviceBytes() int64 { return p.Set.Bytes() }
+
+// AnticommuteOracle is the dual view: edges connect anticommuting pairs
+// (the cliques of this graph are the unitary groups). Exposed for
+// verification: a Picasso coloring of PauliOracle must partition
+// AnticommuteOracle into cliques.
+type AnticommuteOracle struct {
+	Set *pauli.Set
+}
+
+// NumVertices returns the number of Pauli strings.
+func (a AnticommuteOracle) NumVertices() int { return a.Set.Len() }
+
+// HasEdge reports whether strings u and v anticommute.
+func (a AnticommuteOracle) HasEdge(u, v int) bool {
+	return u != v && a.Set.Anticommute(u, v)
+}
+
+var (
+	_ graph.Oracle = PauliOracle{}
+	_ graph.Oracle = AnticommuteOracle{}
+	_ deviceSizer  = PauliOracle{}
+)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"picasso/internal/graph"
+)
+
+// IterStats records one iteration of Algorithm 1.
+type IterStats struct {
+	Iteration        int           // ℓ (1-based)
+	ActiveVertices   int           // |V| entering the iteration
+	Palette          int           // Pℓ
+	ListSize         int           // Lℓ
+	ConflictVertices int           // |Vc|
+	ConflictEdges    int64         // |Ec|
+	Unconflicted     int           // vertices colored directly (line 8)
+	Colored          int           // total vertices colored this iteration
+	Failed           int           // |Vu| carried to the next iteration
+	CSROnDevice      bool          // Alg. 3 branch taken (GPU runs only)
+	DevicePeakBytes  int64         // device peak during construction
+	AssignTime       time.Duration // list assignment (line 6)
+	BuildTime        time.Duration // conflict-graph construction (line 7)
+	ColorTime        time.Duration // lines 8–9
+}
+
+// Result is the outcome of a Picasso run.
+type Result struct {
+	Colors    graph.Coloring // proper coloring of the input oracle
+	NumColors int            // distinct colors used
+	Iters     []IterStats
+	// TotalConflictEdges sums |Ec| over iterations; MaxConflictEdges is the
+	// per-iteration maximum (the numerator of the paper's "Maximum
+	// Conflicting Edge percentage").
+	TotalConflictEdges int64
+	MaxConflictEdges   int64
+	// Fallback reports that MaxIterations was hit and the remaining
+	// vertices were finished with fresh singleton colors.
+	Fallback bool
+	// Timing breakdown (the components of the paper's Fig. 3).
+	AssignTime, BuildTime, ColorTime, TotalTime time.Duration
+	// HostPeakBytes is the tracker's peak if one was supplied.
+	HostPeakBytes int64
+}
+
+// Color runs Picasso (Algorithm 1) on the oracle and returns a proper
+// coloring. The graph is consulted only through o.HasEdge — it is never
+// materialized.
+func Color(o graph.Oracle, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	tStart := time.Now()
+	n := o.NumVertices()
+	colors := graph.NewColoring(n)
+	res := &Result{Colors: colors}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	opts.Tracker.Alloc(int64(n) * 4) // the persistent color array
+	defer opts.Tracker.Free(int64(n) * 4)
+
+	active := make([]int32, n)
+	for i := range active {
+		active[i] = int32(i)
+	}
+	activeBytes := int64(cap(active)) * 4
+	opts.Tracker.Alloc(activeBytes)
+
+	base := int32(0)
+	for iter := 1; len(active) > 0; iter++ {
+		if iter > opts.MaxIterations {
+			// Safety valve: finish with fresh singleton colors (proper by
+			// construction: colors unused anywhere else).
+			for i, v := range active {
+				colors[v] = base + int32(i)
+			}
+			res.Fallback = true
+			break
+		}
+		m := len(active)
+		P := opts.paletteFor(m)
+		L := opts.listSizeFor(m, P)
+		st := IterStats{Iteration: iter, ActiveVertices: m, Palette: P, ListSize: L}
+
+		// Line 6: random candidate lists.
+		t0 := time.Now()
+		cl := assignRandomLists(m, P, L, rng)
+		st.AssignTime = time.Since(t0)
+		listRelease := opts.Tracker.Scoped(cl.Bytes())
+
+		// Line 7: conflict subgraph.
+		t1 := time.Now()
+		eo := edgeOracle{o: o, active: active}
+		var (
+			conf *conflictResult
+			err  error
+		)
+		switch {
+		case len(opts.multiDevices) > 0:
+			conf, err = buildConflictMultiGPU(opts.multiDevices, eo, cl, opts.Tracker)
+		case opts.Device != nil:
+			conf, err = buildConflictGPU(opts.Device, eo, cl, opts.Tracker)
+		case opts.Workers == 1:
+			conf, err = buildConflictSeq(eo, cl, opts.Tracker)
+		default:
+			conf, err = buildConflictPar(eo, cl, opts.Workers, opts.Tracker)
+		}
+		if err != nil {
+			listRelease()
+			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+		}
+		st.BuildTime = time.Since(t1)
+		st.ConflictEdges = conf.edges
+		st.CSROnDevice = conf.onDevice
+		st.DevicePeakBytes = conf.devPeak
+		res.TotalConflictEdges += conf.edges
+		if conf.edges > res.MaxConflictEdges {
+			res.MaxConflictEdges = conf.edges
+		}
+
+		// Lines 8–9: color unconflicted vertices directly, then the
+		// conflict graph.
+		t2 := time.Now()
+		conflicted := make([]int32, 0, m)
+		for i := 0; i < m; i++ {
+			if conf.gc.Degree(i) > 0 {
+				conflicted = append(conflicted, int32(i))
+			} else {
+				lst := cl.list(i)
+				colors[active[i]] = base + lst[rng.Intn(len(lst))]
+				st.Unconflicted++
+			}
+		}
+		st.ConflictVertices = len(conflicted)
+
+		var lc *listColorResult
+		if opts.Strategy == DynamicBuckets {
+			lc = colorConflictDynamic(conf.gc, cl, conflicted, rng)
+		} else {
+			lc = colorConflictStatic(conf.gc, cl, conflicted, opts.Strategy, rng)
+		}
+		for _, v := range conflicted {
+			if c := lc.assign[v]; c != -1 {
+				colors[active[v]] = base + c
+			}
+		}
+		st.Colored = st.Unconflicted + lc.colored
+		st.Failed = len(lc.failed)
+		st.ColorTime = time.Since(t2)
+
+		// Release per-iteration structures.
+		listRelease()
+		opts.Tracker.Free(conf.hostBytes)
+
+		// Line 11–12: recurse on the failed vertices with a fresh palette.
+		next := make([]int32, 0, len(lc.failed))
+		for _, v := range lc.failed {
+			next = append(next, active[v])
+		}
+		opts.Tracker.Free(activeBytes)
+		active = next
+		activeBytes = int64(cap(active)) * 4
+		opts.Tracker.Alloc(activeBytes)
+
+		base += int32(P)
+		res.AssignTime += st.AssignTime
+		res.BuildTime += st.BuildTime
+		res.ColorTime += st.ColorTime
+		res.Iters = append(res.Iters, st)
+	}
+	opts.Tracker.Free(activeBytes)
+
+	res.NumColors = colors.NumColors()
+	res.TotalTime = time.Since(tStart)
+	res.HostPeakBytes = opts.Tracker.Peak()
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picasso/internal/workload"
+)
+
+// Table2Row pairs our measured instance size with the paper's.
+type Table2Row struct {
+	Name       string
+	Class      workload.Class
+	Qubits     int
+	Terms      int
+	Edges      int64
+	Density    float64
+	PaperTerms int
+	PaperEdges int64
+}
+
+// Table2 rebuilds the dataset table (paper Table II): for each molecule,
+// the measured number of Pauli terms and commutation (complement) edges of
+// the synthetic-integral instance, next to the paper's reported counts.
+func Table2(cfg Config, classes []workload.Class) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, class := range classes {
+		insts := cfg.limit(instancesOf(class))
+		for _, inst := range insts {
+			st, err := inst.Measure(cfg.Build)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table2 %s: %w", inst.Name, err)
+			}
+			rows = append(rows, Table2Row{
+				Name:       inst.Name,
+				Class:      inst.Class,
+				Qubits:     st.Qubits,
+				Terms:      st.Terms,
+				Edges:      st.Edges,
+				Density:    st.Density,
+				PaperTerms: inst.PaperTerms,
+				PaperEdges: inst.PaperEdges,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func instancesOf(c workload.Class) []workload.Instance {
+	switch c {
+	case workload.Small:
+		return workload.SmallSet()
+	case workload.Medium:
+		return workload.MediumSet()
+	case workload.Large:
+		return workload.LargeSet()
+	}
+	return nil
+}
+
+// RenderTable2 prints the rows as an aligned table.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Molecule\tClass\tQubits\tTerms\tEdges\tDensity\tPaper terms\tPaper edges")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%.2f\t%s\t%s\n",
+			r.Name, r.Class, r.Qubits, fmtCount(int64(r.Terms)), fmtCount(r.Edges),
+			r.Density, fmtCount(int64(r.PaperTerms)), fmtCount(r.PaperEdges))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,156 @@
+package graph
+
+import "fmt"
+
+// Uncolored marks a vertex without an assigned color.
+const Uncolored int32 = -1
+
+// Coloring is a color per vertex; values are color ids >= 0 or Uncolored.
+type Coloring []int32
+
+// NewColoring returns an all-Uncolored coloring for n vertices.
+func NewColoring(n int) Coloring {
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = Uncolored
+	}
+	return c
+}
+
+// NumColors returns the number of distinct colors used (ignoring Uncolored).
+func (c Coloring) NumColors() int {
+	seen := make(map[int32]struct{})
+	for _, col := range c {
+		if col != Uncolored {
+			seen[col] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// MaxColor returns the largest color id used, or -1 when none.
+func (c Coloring) MaxColor() int32 {
+	m := Uncolored
+	for _, col := range c {
+		if col > m {
+			m = col
+		}
+	}
+	return m
+}
+
+// Complete reports whether every vertex is colored.
+func (c Coloring) Complete() bool {
+	for _, col := range c {
+		if col == Uncolored {
+			return false
+		}
+	}
+	return true
+}
+
+// UncoloredCount returns the number of uncolored vertices.
+func (c Coloring) UncoloredCount() int {
+	n := 0
+	for _, col := range c {
+		if col == Uncolored {
+			n++
+		}
+	}
+	return n
+}
+
+// Normalize remaps colors to a dense range [0, k) preserving first-seen
+// order, and returns k. Uncolored entries are untouched.
+func (c Coloring) Normalize() int {
+	remap := make(map[int32]int32)
+	for i, col := range c {
+		if col == Uncolored {
+			continue
+		}
+		nc, ok := remap[col]
+		if !ok {
+			nc = int32(len(remap))
+			remap[col] = nc
+		}
+		c[i] = nc
+	}
+	return len(remap)
+}
+
+// VerifyCSR checks that the coloring is proper and complete on an explicit
+// graph.
+func VerifyCSR(g *CSR, c Coloring) error {
+	if len(c) != g.N {
+		return fmt.Errorf("graph: coloring has %d entries for %d vertices", len(c), g.N)
+	}
+	for u := 0; u < g.N; u++ {
+		if c[u] == Uncolored {
+			return fmt.Errorf("graph: vertex %d uncolored", u)
+		}
+		for _, v := range g.Neighbors(u) {
+			if c[u] == c[v] {
+				return fmt.Errorf("graph: edge (%d,%d) monochromatic with color %d", u, v, c[u])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyOracle checks properness and completeness against an implicit graph
+// by scanning all pairs (parallel). Quadratic — test/validation use.
+func VerifyOracle(o Oracle, c Coloring) error {
+	n := o.NumVertices()
+	if len(c) != n {
+		return fmt.Errorf("graph: coloring has %d entries for %d vertices", len(c), n)
+	}
+	for u := 0; u < n; u++ {
+		if c[u] == Uncolored {
+			return fmt.Errorf("graph: vertex %d uncolored", u)
+		}
+	}
+	errs := make([]error, n)
+	parallelFor(n, func(u int) {
+		for v := u + 1; v < n; v++ {
+			if c[u] == c[v] && o.HasEdge(u, v) {
+				errs[u] = fmt.Errorf("graph: edge (%d,%d) monochromatic with color %d", u, v, c[u])
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ColorClasses groups vertices by color: the clique partition on the
+// complement side (each color class of G' is a clique of G).
+func ColorClasses(c Coloring) map[int32][]int32 {
+	classes := make(map[int32][]int32)
+	for v, col := range c {
+		if col != Uncolored {
+			classes[col] = append(classes[col], int32(v))
+		}
+	}
+	return classes
+}
+
+// VerifyCliquePartition checks that every color class of the coloring of
+// Complement{G} is a clique in G — the application-level guarantee (each
+// class can be fused into one unitary, paper Definition 1).
+func VerifyCliquePartition(g Oracle, c Coloring) error {
+	for col, class := range ColorClasses(c) {
+		for i := 0; i < len(class); i++ {
+			for j := i + 1; j < len(class); j++ {
+				u, v := int(class[i]), int(class[j])
+				if !g.HasEdge(u, v) {
+					return fmt.Errorf("graph: class %d not a clique: (%d,%d) missing", col, u, v)
+				}
+			}
+		}
+	}
+	return nil
+}

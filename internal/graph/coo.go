@@ -1,0 +1,73 @@
+package graph
+
+import "fmt"
+
+// COO is an unordered edge list, the intermediate the conflict-graph kernel
+// emits before CSR conversion (paper Algorithm 3: "we are left with an
+// unordered edge list").
+type COO struct {
+	N int
+	U []int32
+	V []int32
+}
+
+// NumEdges returns the number of stored edges.
+func (c *COO) NumEdges() int { return len(c.U) }
+
+// Append adds edge {u, v}.
+func (c *COO) Append(u, v int32) {
+	c.U = append(c.U, u)
+	c.V = append(c.V, v)
+}
+
+// Bytes returns the backing-array footprint.
+func (c *COO) Bytes() int64 {
+	return int64(cap(c.U))*4 + int64(cap(c.V))*4
+}
+
+// ExclusiveSum scans counts into offsets: out[i] = Σ_{j<i} counts[j], with
+// out[len(counts)] = total. Mirrors the exclusive_sum step of Algorithm 3.
+func ExclusiveSum(counts []int64) []int64 {
+	out := make([]int64, len(counts)+1)
+	for i, c := range counts {
+		out[i+1] = out[i] + c
+	}
+	return out
+}
+
+// ToCSR converts the unordered edge list to CSR, given the per-vertex edge
+// counts accumulated during edge generation. This is the host-side
+// generate_csr path of Algorithm 3: each edge is placed twice using a
+// cursor per vertex, then adjacency lists are sorted.
+func (c *COO) ToCSR(degrees []int64) (*CSR, error) {
+	if len(degrees) != c.N {
+		return nil, fmt.Errorf("graph: %d degrees for %d vertices", len(degrees), c.N)
+	}
+	offsets := ExclusiveSum(degrees)
+	if offsets[c.N] != int64(2*len(c.U)) {
+		return nil, fmt.Errorf("graph: degree sum %d != 2·edges %d", offsets[c.N], 2*len(c.U))
+	}
+	adj := make([]int32, offsets[c.N])
+	cursor := make([]int64, c.N)
+	copy(cursor, offsets[:c.N])
+	for i := range c.U {
+		u, v := c.U[i], c.V[i]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &CSR{N: c.N, Offsets: offsets, Adj: adj}
+	g.sortAdjacency()
+	return g, nil
+}
+
+// CountDegrees recomputes per-vertex degrees from the edge list.
+func (c *COO) CountDegrees() []int64 {
+	deg := make([]int64, c.N)
+	for i := range c.U {
+		deg[c.U[i]]++
+		deg[c.V[i]]++
+	}
+	return deg
+}

@@ -1,0 +1,107 @@
+package graph
+
+import "math"
+
+// Additional implicit-graph families beyond the uniform dense model —
+// the paper's future-work item "address inputs from diverse applications
+// with varying degrees of sparsity" (§VIII). All are deterministic hash
+// oracles with zero storage.
+
+// ChungLuOracle is a power-law expected-degree graph: vertex v has weight
+// w(v) ∝ (v+1)^(−1/(Exponent−1)) and edge (u,v) exists with probability
+// min(1, w(u)·w(v)/Σw). Captures the heavy-tailed degree skew of
+// application graphs (the regime where ∆/P is heterogeneous and Picasso's
+// palette assumption is stressed).
+type ChungLuOracle struct {
+	N        int
+	Exponent float64 // power-law exponent, > 2 (3 ≈ mild skew)
+	AvgDeg   float64 // target average degree
+	Seed     uint64
+}
+
+// NumVertices returns n.
+func (c ChungLuOracle) NumVertices() int { return c.N }
+
+// weight returns the expected-degree weight of vertex v, scaled so the
+// average degree is approximately AvgDeg.
+func (c ChungLuOracle) weight(v int) float64 {
+	if c.Exponent <= 2 {
+		return c.AvgDeg
+	}
+	beta := 1 / (c.Exponent - 1)
+	w := math.Pow(float64(v+1), -beta)
+	// Normalize: mean of v^-beta over [1, n] ≈ n^-beta·n/(1-beta)/n.
+	norm := (1 - beta) * math.Pow(float64(c.N), beta)
+	return c.AvgDeg * w * norm
+}
+
+// HasEdge hashes the unordered pair against the Chung–Lu probability.
+func (c ChungLuOracle) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= c.N || v >= c.N {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	p := c.weight(u) * c.weight(v) / (c.AvgDeg * float64(c.N))
+	if p > 1 {
+		p = 1
+	}
+	h := mix64(c.Seed ^ 0xC417<<48 ^ uint64(u)<<24 ^ uint64(v))
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+// RingOracle is a circulant graph: each vertex connects to its K nearest
+// neighbors on each side of a ring — a bounded-degree, highly structured
+// sparse input (chromatic number K+1 when 2K+1 divides n evenly enough).
+type RingOracle struct {
+	N int
+	K int // neighbors per side
+}
+
+// NumVertices returns n.
+func (r RingOracle) NumVertices() int { return r.N }
+
+// HasEdge reports ring distance ≤ K.
+func (r RingOracle) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= r.N || v >= r.N {
+		return false
+	}
+	d := u - v
+	if d < 0 {
+		d = -d
+	}
+	if wrap := r.N - d; wrap < d {
+		d = wrap
+	}
+	return d <= r.K
+}
+
+// PlantedOracle is a graph with a planted equitable k-coloring: vertices
+// are assigned classes v mod K, intra-class pairs are never adjacent, and
+// inter-class pairs are adjacent with probability P. Its chromatic number
+// is at most K, giving tests a known quality yardstick.
+type PlantedOracle struct {
+	N    int
+	K    int
+	P    float64
+	Seed uint64
+}
+
+// NumVertices returns n.
+func (p PlantedOracle) NumVertices() int { return p.N }
+
+// HasEdge keeps classes independent and joins distinct classes at random.
+func (p PlantedOracle) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= p.N || v >= p.N {
+		return false
+	}
+	if u%p.K == v%p.K {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	h := mix64(p.Seed ^ 0x91A7<<48 ^ uint64(u)<<24 ^ uint64(v))
+	return float64(h>>11)/float64(1<<53) < p.P
+}

@@ -1,0 +1,76 @@
+package graph
+
+import "testing"
+
+func TestChungLuSymmetricAndSkewed(t *testing.T) {
+	o := ChungLuOracle{N: 400, Exponent: 2.5, AvgDeg: 20, Seed: 3}
+	for u := 0; u < 50; u++ {
+		if o.HasEdge(u, u) {
+			t.Fatal("self loop")
+		}
+		for v := 0; v < 50; v++ {
+			if o.HasEdge(u, v) != o.HasEdge(v, u) {
+				t.Fatalf("asymmetric at (%d,%d)", u, v)
+			}
+		}
+	}
+	deg := Degrees(o)
+	// Power law: early vertices carry far higher degree than the tail.
+	head, tail := 0, 0
+	for v := 0; v < 20; v++ {
+		head += deg[v]
+	}
+	for v := 380; v < 400; v++ {
+		tail += deg[v]
+	}
+	if head <= 2*tail {
+		t.Errorf("no degree skew: head %d vs tail %d", head, tail)
+	}
+	// Average degree within a factor 3 of the target.
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	avg := float64(total) / 400
+	if avg < 20.0/3 || avg > 60 {
+		t.Errorf("average degree %.1f far from target 20", avg)
+	}
+}
+
+func TestRingOracleStructure(t *testing.T) {
+	o := RingOracle{N: 20, K: 2}
+	if !o.HasEdge(0, 1) || !o.HasEdge(0, 2) || o.HasEdge(0, 3) {
+		t.Fatal("near adjacency wrong")
+	}
+	if !o.HasEdge(0, 19) || !o.HasEdge(0, 18) || o.HasEdge(0, 17) {
+		t.Fatal("wraparound adjacency wrong")
+	}
+	deg := Degrees(o)
+	for v, d := range deg {
+		if d != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, d)
+		}
+	}
+	if CountEdges(o) != 40 {
+		t.Fatalf("edges = %d", CountEdges(o))
+	}
+}
+
+func TestPlantedOracleRespectsClasses(t *testing.T) {
+	o := PlantedOracle{N: 300, K: 5, P: 0.8, Seed: 9}
+	for u := 0; u < 300; u += 7 {
+		for v := u + 5; v < 300; v += 5 {
+			if u%5 == v%5 && o.HasEdge(u, v) {
+				t.Fatalf("intra-class edge (%d,%d)", u, v)
+			}
+		}
+	}
+	// The planted coloring (v mod K) must be proper.
+	c := make(Coloring, 300)
+	for v := range c {
+		c[v] = int32(v % 5)
+	}
+	if err := VerifyOracle(o, c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package memtrack is the byte-exact memory-accounting model behind the
+// paper's Table IV. Measuring max-RSS is meaningless across machines and Go
+// GC configurations, so the experiment harness instead registers every
+// long-lived data structure an algorithm holds (input graph, color lists,
+// conflict COO/CSR, forbidden arrays, worklists) with a Tracker and reports
+// the peak of the running sum — the same quantity max-RSS approximates on
+// the paper's testbed.
+package memtrack
+
+import "sync"
+
+// Tracker accumulates live bytes and remembers the peak. The zero value is
+// ready to use; a nil *Tracker is a valid no-op sink so instrumented code
+// never needs nil checks.
+type Tracker struct {
+	mu      sync.Mutex
+	current int64
+	peak    int64
+}
+
+// Alloc records n live bytes (n may be negative to adjust).
+func (t *Tracker) Alloc(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.current += n
+	if t.current > t.peak {
+		t.peak = t.current
+	}
+	t.mu.Unlock()
+}
+
+// Free releases n live bytes.
+func (t *Tracker) Free(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.current -= n
+	t.mu.Unlock()
+}
+
+// Current returns the live byte count.
+func (t *Tracker) Current() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current
+}
+
+// Peak returns the maximum live byte count observed.
+func (t *Tracker) Peak() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// Reset zeroes both counters.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.current = 0
+	t.peak = 0
+	t.mu.Unlock()
+}
+
+// Scoped records an allocation and returns the matching release closure:
+//
+//	defer tr.Scoped(bytes)()
+func (t *Tracker) Scoped(n int64) func() {
+	t.Alloc(n)
+	return func() { t.Free(n) }
+}
+
+// GB converts bytes to gigabytes (10^9, as in the paper's tables).
+func GB(bytes int64) float64 { return float64(bytes) / 1e9 }

@@ -1,0 +1,83 @@
+package memtrack
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocFreePeak(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(100)
+	tr.Alloc(50)
+	if tr.Current() != 150 || tr.Peak() != 150 {
+		t.Fatalf("current=%d peak=%d", tr.Current(), tr.Peak())
+	}
+	tr.Free(120)
+	if tr.Current() != 30 {
+		t.Fatalf("current=%d", tr.Current())
+	}
+	if tr.Peak() != 150 {
+		t.Fatalf("peak=%d", tr.Peak())
+	}
+	tr.Alloc(10)
+	if tr.Peak() != 150 {
+		t.Fatal("peak moved without exceeding it")
+	}
+	tr.Reset()
+	if tr.Current() != 0 || tr.Peak() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNilTrackerIsNoop(t *testing.T) {
+	var tr *Tracker
+	tr.Alloc(10)
+	tr.Free(5)
+	tr.Reset()
+	if tr.Current() != 0 || tr.Peak() != 0 {
+		t.Fatal("nil tracker returned nonzero")
+	}
+	release := tr.Scoped(100)
+	release()
+}
+
+func TestScoped(t *testing.T) {
+	var tr Tracker
+	func() {
+		defer tr.Scoped(256)()
+		if tr.Current() != 256 {
+			t.Errorf("scoped current = %d", tr.Current())
+		}
+	}()
+	if tr.Current() != 0 {
+		t.Fatalf("after scope current = %d", tr.Current())
+	}
+	if tr.Peak() != 256 {
+		t.Fatalf("peak = %d", tr.Peak())
+	}
+}
+
+func TestConcurrentSafety(t *testing.T) {
+	var tr Tracker
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Alloc(3)
+				tr.Free(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Current() != 0 {
+		t.Fatalf("current = %d", tr.Current())
+	}
+}
+
+func TestGB(t *testing.T) {
+	if GB(2_500_000_000) != 2.5 {
+		t.Fatalf("GB = %v", GB(2_500_000_000))
+	}
+}

@@ -1,0 +1,119 @@
+package mlpredict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ForestOptions configure the random-forest regressor. The paper selects
+// 100 estimators with maximum depth 20 (§VI).
+type ForestOptions struct {
+	Trees       int
+	MaxDepth    int
+	MinLeaf     int
+	MaxFeatures int // 0 = all features at every split
+	Seed        int64
+}
+
+// DefaultForestOptions mirrors the paper's selection.
+func DefaultForestOptions() ForestOptions {
+	return ForestOptions{Trees: 100, MaxDepth: 20, MinLeaf: 1, Seed: 1}
+}
+
+// Forest is a bagged ensemble of regression trees.
+type Forest struct {
+	trees []*Tree
+}
+
+// FitForest trains a random forest: each tree sees a bootstrap resample of
+// the rows and (optionally) a random feature subset per split.
+func FitForest(X [][]float64, y []float64, opts ForestOptions) (*Forest, error) {
+	if opts.Trees <= 0 {
+		return nil, fmt.Errorf("mlpredict: nonpositive tree count %d", opts.Trees)
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlpredict: %d rows vs %d targets", len(X), len(y))
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	f := &Forest{trees: make([]*Tree, 0, opts.Trees)}
+	n := len(X)
+	for t := 0; t < opts.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := FitTree(bx, by, TreeOptions{
+			MaxDepth:    opts.MaxDepth,
+			MinLeaf:     opts.MinLeaf,
+			MaxFeatures: opts.MaxFeatures,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Predict averages the tree predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// MAPE is the mean absolute percentage error (paper reports 0.19), as a
+// fraction: mean(|pred − true| / |true|). Rows with true value 0 are
+// skipped.
+func MAPE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("mlpredict: length mismatch in MAPE")
+	}
+	s, n := 0.0, 0
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// R2 is the coefficient of determination (paper reports 0.88).
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("mlpredict: length mismatch in R2")
+	}
+	m := 0.0
+	for _, t := range truth {
+		m += t
+	}
+	m /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		d := truth[i] - pred[i]
+		ssRes += d * d
+		e := truth[i] - m
+		ssTot += e * e
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,236 @@
+package mlpredict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"picasso/internal/graph"
+)
+
+func TestTreeFitsConstant(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	tree, err := FitTree(X, y, TreeOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{1.5}); got != 5 {
+		t.Fatalf("Predict = %v", got)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("constant target should be a leaf, depth %d", tree.Depth())
+	}
+}
+
+func TestTreeFitsStep(t *testing.T) {
+	// y = 0 for x<0.5, 10 for x>=0.5: one split suffices.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x := float64(i) / 50
+		X = append(X, []float64{x})
+		if x < 0.5 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.2}); got != 0 {
+		t.Fatalf("left side = %v", got)
+	}
+	if got := tree.Predict([]float64{0.8}); got != 10 {
+		t.Fatalf("right side = %v", got)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(10*x))
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 4 {
+		t.Fatalf("depth %d > 4", d)
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeOptions{}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitTree([][]float64{{1}, {1, 2}}, []float64{1, 2}, TreeOptions{}, nil); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestForestInterpolatesSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	f := func(a, b float64) float64 { return 3*a + math.Sin(5*b) }
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		X = append(X, []float64{a, b})
+		y = append(y, f(a, b))
+	}
+	forest, err := FitForest(X, y, ForestOptions{Trees: 30, MaxDepth: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.NumTrees() != 30 {
+		t.Fatalf("NumTrees = %d", forest.NumTrees())
+	}
+	var pred, truth []float64
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		pred = append(pred, forest.Predict([]float64{a, b}))
+		truth = append(truth, f(a, b))
+	}
+	if r2 := R2(pred, truth); r2 < 0.7 {
+		t.Errorf("R² = %.3f on smooth function", r2)
+	}
+}
+
+func TestForestDeterministicBySeed(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	y := []float64{1, 2, 3, 4, 5}
+	f1, _ := FitForest(X, y, ForestOptions{Trees: 5, MaxDepth: 3, Seed: 9})
+	f2, _ := FitForest(X, y, ForestOptions{Trees: 5, MaxDepth: 3, Seed: 9})
+	for _, probe := range []float64{0.5, 2.5, 4.9} {
+		if f1.Predict([]float64{probe}) != f2.Predict([]float64{probe}) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := FitForest(nil, nil, ForestOptions{Trees: 3}); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := FitForest([][]float64{{1}}, []float64{1}, ForestOptions{Trees: 0}); err == nil {
+		t.Error("zero trees accepted")
+	}
+}
+
+func TestMAPEAndR2(t *testing.T) {
+	pred := []float64{110, 90}
+	truth := []float64{100, 100}
+	if got := MAPE(pred, truth); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	if got := R2(truth, truth); got != 1 {
+		t.Fatalf("perfect R² = %v", got)
+	}
+	// MAPE skips zero-truth entries.
+	if got := MAPE([]float64{5, 110}, []float64{0, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE with zero truth = %v", got)
+	}
+	// R² of mean predictor is 0.
+	if got := R2([]float64{50, 50}, []float64{0, 100}); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-predictor R² = %v", got)
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	p := DefaultPFracs()
+	if p[0] != 0.01 || p[len(p)-1] != 0.2 {
+		t.Fatalf("PFracs = %v", p)
+	}
+	a := DefaultAlphas()
+	if a[0] != 0.5 || a[len(a)-1] != 4.5 || len(a) != 9 {
+		t.Fatalf("Alphas = %v", a)
+	}
+	b := DefaultBetas()
+	if len(b) != 9 || b[0] != 0.1 || b[8] != 0.9 {
+		t.Fatalf("Betas = %v", b)
+	}
+}
+
+func TestSweepAndOptimal(t *testing.T) {
+	o := graph.RandomOracle{N: 150, P: 0.5, Seed: 4}
+	edges := graph.CountEdges(o)
+	s, err := Sweep(o, edges, []float64{0.03, 0.125}, []float64{1, 3}, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// β→1 favors fewer colors; β→0 favors fewer conflict edges.
+	colorOpt := s.OptimalFor(0.999)
+	workOpt := s.OptimalFor(0.001)
+	minColors, minWork := s.Points[0], s.Points[0]
+	for _, p := range s.Points {
+		if p.Colors < minColors.Colors {
+			minColors = p
+		}
+		if p.MaxConflictEdges < minWork.MaxConflictEdges {
+			minWork = p
+		}
+	}
+	if colorOpt.Colors != minColors.Colors {
+		t.Errorf("β≈1 picked %d colors, best is %d", colorOpt.Colors, minColors.Colors)
+	}
+	if workOpt.MaxConflictEdges != minWork.MaxConflictEdges {
+		t.Errorf("β≈0 picked %d conflict edges, best is %d",
+			workOpt.MaxConflictEdges, minWork.MaxConflictEdges)
+	}
+}
+
+func TestEndToEndPredictorPipeline(t *testing.T) {
+	// Miniature §VI pipeline: sweep three graphs, train on rows, predict
+	// for a held-out graph; predictions must live on sensible ranges.
+	pfracs := []float64{0.02, 0.08, 0.15}
+	alphas := []float64{1, 2.5, 4}
+	betas := DefaultBetas()
+	var sweeps []*SweepResult
+	for i, n := range []int{100, 160, 220} {
+		o := graph.RandomOracle{N: n, P: 0.5, Seed: uint64(40 + i)}
+		s, err := Sweep(o, graph.CountEdges(o), pfracs, alphas, int64(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, s)
+	}
+	rows := BuildRows(sweeps, betas)
+	if len(rows) != 3*len(betas) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pred, err := TrainPredictor(rows, ForestOptions{Trees: 20, MaxDepth: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, a := pred.Predict(0.5, 180, 8000)
+	if pf < 0.005 || pf > 0.5 {
+		t.Errorf("predicted palette fraction %v implausible", pf)
+	}
+	if a < 0.25 || a > 10 {
+		t.Errorf("predicted alpha %v implausible", a)
+	}
+	// Self-evaluation on the training rows should be decent.
+	mape, _ := pred.Evaluate(rows)
+	if mape > 0.9 {
+		t.Errorf("training MAPE = %.2f", mape)
+	}
+}
+
+func TestTrainPredictorEmpty(t *testing.T) {
+	if _, err := TrainPredictor(nil, DefaultForestOptions()); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

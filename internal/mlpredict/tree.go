@@ -1,0 +1,197 @@
+// Package mlpredict reimplements the paper's §VI parameter predictor on the
+// standard library: CART regression trees with variance-reduction splits,
+// bagged into a random forest with feature subsampling, plus the dataset
+// pipeline (grid sweep → β-objective minimization → training rows) and the
+// MAPE / R² metrics the paper reports. Given (β, |V|, |E|) the model
+// predicts the (P′, α) pair minimizing β·C + (1−β)·|Ec| (Eq. 7).
+package mlpredict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART regression tree.
+type treeNode struct {
+	feature int     // split feature index, -1 for leaves
+	thresh  float64 // go left when x[feature] <= thresh
+	value   float64 // leaf prediction (mean of samples)
+	left    *treeNode
+	right   *treeNode
+}
+
+// TreeOptions bound tree growth.
+type TreeOptions struct {
+	MaxDepth    int // maximum depth (root = depth 0)
+	MinLeaf     int // minimum samples per leaf
+	MaxFeatures int // features considered per split (0 = all)
+}
+
+// Tree is a trained CART regression tree.
+type Tree struct {
+	root *treeNode
+	dims int
+}
+
+// FitTree trains a regression tree on rows X (feature vectors) and targets
+// y, minimizing within-leaf variance. rng drives feature subsampling; it
+// may be nil when MaxFeatures is 0.
+func FitTree(X [][]float64, y []float64, opts TreeOptions, rng *rand.Rand) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlpredict: %d rows vs %d targets", len(X), len(y))
+	}
+	dims := len(X[0])
+	for i, row := range X {
+		if len(row) != dims {
+			return nil, fmt.Errorf("mlpredict: row %d has %d features, want %d", i, len(row), dims)
+		}
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 12
+	}
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 1
+	}
+	if opts.MaxFeatures <= 0 || opts.MaxFeatures > dims {
+		opts.MaxFeatures = dims
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Tree{root: growTree(X, y, idx, 0, opts, rng), dims: dims}, nil
+}
+
+// Predict evaluates the tree on one feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	node := t.root
+	for node.feature >= 0 {
+		if x[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// Depth returns the tree height (leaves are height 0).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func growTree(X [][]float64, y []float64, idx []int, depth int, opts TreeOptions, rng *rand.Rand) *treeNode {
+	leaf := &treeNode{feature: -1, value: mean(y, idx)}
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || constant(y, idx) {
+		return leaf
+	}
+	dims := len(X[0])
+	features := chooseFeatures(dims, opts.MaxFeatures, rng)
+
+	bestFeature, bestThresh := -1, 0.0
+	bestScore := math.Inf(1)
+	sorted := make([]int, len(idx))
+	for _, f := range features {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		// Prefix sums over the sorted order enable O(1) variance per split.
+		var sumL, sumSqL float64
+		sumR, sumSqR := sums(y, sorted)
+		for i := 0; i < len(sorted)-1; i++ {
+			v := y[sorted[i]]
+			sumL += v
+			sumSqL += v * v
+			sumR -= v
+			sumSqR -= v * v
+			if X[sorted[i]][f] == X[sorted[i+1]][f] {
+				continue // cannot split between equal feature values
+			}
+			nl, nr := i+1, len(sorted)-i-1
+			if nl < opts.MinLeaf || nr < opts.MinLeaf {
+				continue
+			}
+			score := sse(sumL, sumSqL, nl) + sse(sumR, sumSqR, nr)
+			if score < bestScore {
+				bestScore = score
+				bestFeature = f
+				bestThresh = (X[sorted[i]][f] + X[sorted[i+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leaf
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return leaf
+	}
+	return &treeNode{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		left:    growTree(X, y, leftIdx, depth+1, opts, rng),
+		right:   growTree(X, y, rightIdx, depth+1, opts, rng),
+	}
+}
+
+func chooseFeatures(dims, k int, rng *rand.Rand) []int {
+	all := make([]int, dims)
+	for i := range all {
+		all[i] = i
+	}
+	if k >= dims || rng == nil {
+		return all
+	}
+	rng.Shuffle(dims, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:k]
+}
+
+func mean(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func constant(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func sums(y []float64, idx []int) (sum, sumSq float64) {
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	return sum, sumSq
+}
+
+// sse is the sum of squared errors around the mean given aggregate sums.
+func sse(sum, sumSq float64, n int) float64 {
+	return sumSq - sum*sum/float64(n)
+}

@@ -1,0 +1,114 @@
+// Package par provides the small parallel-for building blocks shared by the
+// graph substrate, the baselines and the Picasso kernels: contiguous-chunk
+// loops over index ranges with a configurable worker count (the CPU analog
+// of a GPU thread grid).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the worker count used when callers pass 0:
+// GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForN runs f(i) for every i in [0, n) on `workers` goroutines (0 means
+// DefaultWorkers). Iterations are split into contiguous chunks, so f is
+// called with monotonically increasing i within a worker — cache-friendly
+// for CSR walks.
+func ForN(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunks runs f(lo, hi, worker) over contiguous chunks of [0, n), passing
+// the worker index so callers can keep per-worker scratch state without
+// false sharing or locks.
+func ForChunks(workers, n int, f func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		f(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			f(lo, hi, w)
+		}(lo, hi, w)
+	}
+	wg.Wait()
+}
+
+// SumInt64 reduces per-index contributions in parallel.
+func SumInt64(workers, n int, f func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	partial := make([]int64, workers)
+	ForChunks(workers, n, func(lo, hi, w int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		partial[w] += s
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}

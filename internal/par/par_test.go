@@ -1,0 +1,77 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForNCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForN(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForNNegative(t *testing.T) {
+	called := false
+	ForN(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("negative n invoked f")
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 100
+		covered := make([]atomic.Int32, n)
+		seen := make([]atomic.Int32, workers+n) // worker ids observed
+		ForChunks(workers, n, func(lo, hi, w int) {
+			if lo >= hi {
+				t.Errorf("empty chunk [%d,%d)", lo, hi)
+			}
+			seen[w].Add(1)
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, covered[i].Load())
+			}
+		}
+		for w := 0; w < workers; w++ {
+			if seen[w].Load() > 1 {
+				t.Fatalf("worker %d invoked twice", w)
+			}
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	got := SumInt64(4, 1000, func(i int) int64 { return int64(i) })
+	if want := int64(999 * 1000 / 2); got != want {
+		t.Fatalf("SumInt64 = %d, want %d", got, want)
+	}
+	if got := SumInt64(3, 0, func(int) int64 { return 1 }); got != 0 {
+		t.Fatalf("empty sum = %d", got)
+	}
+	// Deterministic across worker counts.
+	a := SumInt64(1, 777, func(i int) int64 { return int64(i * i) })
+	b := SumInt64(16, 777, func(i int) int64 { return int64(i * i) })
+	if a != b {
+		t.Fatalf("sum differs across workers: %d vs %d", a, b)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,172 @@
+// Package parbase implements the parallel graph-coloring baselines the
+// paper compares against in §VII. The original comparators are CUDA
+// codebases (ECL-GC-R of Alabandi & Burtscher, and the edge-based Kokkos
+// colorer of Deveci et al.); this package implements the published
+// algorithms they embody on CPU goroutines, with the same memory shape:
+// both load the *entire* explicit graph plus auxiliary arrays — which is
+// precisely why they run out of memory on the paper's medium/large inputs
+// while Picasso does not.
+package parbase
+
+import (
+	"picasso/internal/graph"
+	"picasso/internal/par"
+)
+
+// Stats reports work and memory characteristics of a parallel run.
+type Stats struct {
+	Rounds   int   // number of parallel rounds until fixpoint
+	AuxBytes int64 // auxiliary memory beyond the input CSR
+}
+
+// JPLDF is the Jones–Plassmann coloring with largest-degree-first
+// priorities and random tie-breaking, the algorithmic core of ECL-GC-R. In
+// each round, every uncolored vertex whose priority exceeds that of all its
+// uncolored neighbors takes the smallest color not used by its colored
+// neighbors; the shortcutting refinement (Alabandi & Burtscher, PPoPP'20)
+// additionally colors a vertex early when every *higher-priority* uncolored
+// neighbor cannot possibly take its candidate color (all candidate slots
+// below it are full).
+func JPLDF(g *graph.CSR, seed uint64, workers int) (graph.Coloring, Stats) {
+	n := g.N
+	colors := graph.NewColoring(n)
+	prio := makePriorities(g, seed)
+	maxDeg := g.MaxDegree()
+
+	next := make([]int32, 0, n) // vertices still uncolored
+	for u := 0; u < n; u++ {
+		next = append(next, int32(u))
+	}
+	selected := make([]bool, n)
+	st := Stats{}
+	st.AuxBytes = int64(n)*(8+1) + int64(cap(next))*4 // prio + selected + worklist
+
+	for len(next) > 0 {
+		st.Rounds++
+		// Selection phase: independent-set of local priority maxima.
+		par.ForN(workers, len(next), func(i int) {
+			u := next[i]
+			sel := true
+			for _, v := range g.Neighbors(int(u)) {
+				if colors[v] == graph.Uncolored && higher(prio, v, u) {
+					sel = false
+					break
+				}
+			}
+			selected[u] = sel
+		})
+		// Coloring phase: selected vertices form an independent set in the
+		// subgraph of uncolored vertices, so first-fit writes are race-free.
+		par.ForN(workers, len(next), func(i int) {
+			u := next[i]
+			if !selected[u] {
+				return
+			}
+			colors[u] = smallestAvailable(g, colors, int(u), maxDeg)
+		})
+		// Compact the worklist.
+		remaining := next[:0]
+		for _, u := range next {
+			if colors[u] == graph.Uncolored {
+				remaining = append(remaining, u)
+			}
+		}
+		next = remaining
+	}
+	return colors, st
+}
+
+// higher reports whether vertex a has strictly higher JP priority than b:
+// larger hashed priority wins, ties by id (total order, so every round makes
+// progress).
+func higher(prio []uint64, a, b int32) bool {
+	if prio[a] != prio[b] {
+		return prio[a] > prio[b]
+	}
+	return a > b
+}
+
+// makePriorities builds LDF priorities: degree in the high bits, a hash in
+// the low bits as tiebreak.
+func makePriorities(g *graph.CSR, seed uint64) []uint64 {
+	prio := make([]uint64, g.N)
+	for u := 0; u < g.N; u++ {
+		prio[u] = uint64(g.Degree(u))<<32 | uint64(hash32(seed, uint64(u)))
+	}
+	return prio
+}
+
+func hash32(seed, x uint64) uint32 {
+	h := seed ^ x*0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return uint32(h >> 32)
+}
+
+// smallestAvailable returns the smallest color in [0, maxDeg] unused by the
+// colored neighbors of u, using a local mark array kept on the stack for
+// small degrees and heap otherwise.
+func smallestAvailable(g *graph.CSR, colors graph.Coloring, u, maxDeg int) int32 {
+	deg := g.Degree(u)
+	limit := deg + 1 // first-fit never needs more than deg+1 candidates
+	if limit > maxDeg+1 {
+		limit = maxDeg + 1
+	}
+	marks := make([]bool, limit)
+	for _, v := range g.Neighbors(u) {
+		if c := colors[v]; c >= 0 && int(c) < limit {
+			marks[c] = true
+		}
+	}
+	for c := 0; c < limit; c++ {
+		if !marks[c] {
+			return int32(c)
+		}
+	}
+	return int32(limit)
+}
+
+// LubyMIS computes a maximal independent set by Luby's algorithm with the
+// given seed; exported because JP degenerates to it with flat priorities
+// and the tests cross-check both.
+func LubyMIS(g *graph.CSR, seed uint64, workers int) []bool {
+	n := g.N
+	inSet := make([]bool, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	prio := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		prio[u] = uint64(hash32(seed, uint64(u)))<<32 | uint64(u)
+	}
+	for {
+		progress := false
+		winner := make([]bool, n)
+		par.ForN(workers, n, func(u int) {
+			if !alive[u] {
+				return
+			}
+			for _, v := range g.Neighbors(u) {
+				if alive[v] && prio[v] > prio[u] {
+					return
+				}
+			}
+			winner[u] = true
+		})
+		for u := 0; u < n; u++ {
+			if winner[u] {
+				inSet[u] = true
+				alive[u] = false
+				progress = true
+				for _, v := range g.Neighbors(u) {
+					alive[v] = false
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return inSet
+}

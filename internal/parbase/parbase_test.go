@@ -1,0 +1,160 @@
+package parbase
+
+import (
+	"testing"
+
+	"picasso/internal/graph"
+)
+
+func randomGraph(n int, p float64, seed uint64) *graph.CSR {
+	return graph.Materialize(graph.RandomOracle{N: n, P: p, Seed: seed})
+}
+
+func TestJPLDFValid(t *testing.T) {
+	for _, p := range []float64{0.05, 0.3, 0.7} {
+		for _, workers := range []int{1, 4} {
+			g := randomGraph(120, p, 5)
+			c, st := JPLDF(g, 42, workers)
+			if err := graph.VerifyCSR(g, c); err != nil {
+				t.Fatalf("p=%v workers=%d: %v", p, workers, err)
+			}
+			if st.Rounds == 0 && g.N > 0 {
+				t.Error("no rounds recorded")
+			}
+			if st.AuxBytes <= 0 {
+				t.Error("aux bytes not tracked")
+			}
+		}
+	}
+}
+
+func TestSpeculativeEBValid(t *testing.T) {
+	for _, p := range []float64{0.05, 0.3, 0.7} {
+		for _, workers := range []int{1, 4} {
+			g := randomGraph(120, p, 6)
+			c, st := SpeculativeEB(g, 43, workers)
+			if err := graph.VerifyCSR(g, c); err != nil {
+				t.Fatalf("p=%v workers=%d: %v", p, workers, err)
+			}
+			if st.AuxBytes <= 0 {
+				t.Error("aux bytes not tracked")
+			}
+		}
+	}
+}
+
+func TestParallelWorkerCountsAgreeJP(t *testing.T) {
+	// JP with fixed priorities is deterministic regardless of parallelism.
+	g := randomGraph(100, 0.4, 7)
+	c1, _ := JPLDF(g, 9, 1)
+	c8, _ := JPLDF(g, 9, 8)
+	for i := range c1 {
+		if c1[i] != c8[i] {
+			t.Fatalf("JP differs at %d with different worker counts", i)
+		}
+	}
+}
+
+func TestDeltaPlusOneBound(t *testing.T) {
+	g := randomGraph(150, 0.5, 8)
+	bound := g.MaxDegree() + 1
+	cJP, _ := JPLDF(g, 1, 0)
+	if got := cJP.NumColors(); got > bound {
+		t.Errorf("JP used %d > ∆+1 = %d", got, bound)
+	}
+	cEB, _ := SpeculativeEB(g, 1, 0)
+	if got := cEB.NumColors(); got > bound {
+		t.Errorf("EB used %d > ∆+1 = %d", got, bound)
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	n := 20
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := JPLDF(g, 3, 0)
+	if c.NumColors() != n {
+		t.Errorf("JP on K%d: %d colors", n, c.NumColors())
+	}
+	c2, _ := SpeculativeEB(g, 3, 0)
+	if c2.NumColors() != n {
+		t.Errorf("EB on K%d: %d colors", n, c2.NumColors())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g, _ := graph.FromEdges(0, nil)
+	c, _ := JPLDF(g, 1, 0)
+	if len(c) != 0 {
+		t.Fatal("nonempty coloring for empty graph")
+	}
+	c2, _ := SpeculativeEB(g, 1, 0)
+	if len(c2) != 0 {
+		t.Fatal("nonempty coloring for empty graph")
+	}
+	g1, _ := graph.FromEdges(1, nil)
+	c3, _ := JPLDF(g1, 1, 0)
+	if c3.NumColors() != 1 {
+		t.Fatal("singleton needs one color")
+	}
+}
+
+func TestLubyMISIsIndependentAndMaximal(t *testing.T) {
+	g := randomGraph(100, 0.2, 9)
+	mis := LubyMIS(g, 17, 0)
+	// Independence.
+	for u := 0; u < g.N; u++ {
+		if !mis[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if mis[v] {
+				t.Fatalf("adjacent vertices %d,%d both in MIS", u, v)
+			}
+		}
+	}
+	// Maximality: every excluded vertex has a neighbor in the set.
+	for u := 0; u < g.N; u++ {
+		if mis[u] {
+			continue
+		}
+		has := false
+		for _, v := range g.Neighbors(u) {
+			if mis[v] {
+				has = true
+				break
+			}
+		}
+		if !has {
+			t.Fatalf("vertex %d could join the MIS", u)
+		}
+	}
+}
+
+func TestEBRoundsBounded(t *testing.T) {
+	// Speculation must converge in far fewer rounds than n on sparse graphs.
+	g := randomGraph(300, 0.05, 10)
+	_, st := SpeculativeEB(g, 21, 0)
+	if st.Rounds > 60 {
+		t.Errorf("EB took %d rounds", st.Rounds)
+	}
+}
+
+func TestKokkosUsesMoreAuxMemoryThanJP(t *testing.T) {
+	// Table IV shape: the edge-based worklist dwarfs JP's vertex arrays on
+	// dense graphs.
+	g := randomGraph(200, 0.5, 11)
+	_, stJP := JPLDF(g, 2, 0)
+	_, stEB := SpeculativeEB(g, 2, 0)
+	if stEB.AuxBytes <= stJP.AuxBytes {
+		t.Errorf("EB aux %d <= JP aux %d", stEB.AuxBytes, stJP.AuxBytes)
+	}
+}

@@ -1,0 +1,80 @@
+package pauli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the set as text: one string per line, followed by its
+// coefficient when coefficients are stored. Lines starting with '#' are
+// comments. The format round-trips through ReadSet and is what
+// cmd/datasetgen emits.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "# %d strings on %d qubits\n", s.Len(), s.Qubits())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i := 0; i < s.Len(); i++ {
+		var m int
+		if s.HasCoeffs() {
+			m, err = fmt.Fprintf(bw, "%s %.17g\n", s.At(i).String(), s.Coeff(i))
+		} else {
+			m, err = fmt.Fprintf(bw, "%s\n", s.At(i).String())
+		}
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadSet parses the text format written by WriteTo: one Pauli string per
+// line with an optional trailing coefficient; blank lines and '#' comments
+// are skipped. All strings must share one length.
+func ReadSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var set *Set
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		p, err := Parse(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("pauli: line %d: %w", line, err)
+		}
+		if set == nil {
+			set = NewSet(p.Len())
+		}
+		if p.Len() != set.Qubits() {
+			return nil, fmt.Errorf("pauli: line %d: length %d, want %d", line, p.Len(), set.Qubits())
+		}
+		if len(fields) >= 2 {
+			c, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("pauli: line %d: bad coefficient %q", line, fields[1])
+			}
+			set.AppendWithCoeff(p, c)
+		} else {
+			set.Append(p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if set == nil {
+		return nil, fmt.Errorf("pauli: no strings in input")
+	}
+	return set, nil
+}

@@ -1,0 +1,81 @@
+package pauli
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := NewSet(6)
+	for i := 0; i < 50; i++ {
+		orig.AppendWithCoeff(Random(6, rng), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Qubits() != orig.Qubits() {
+		t.Fatalf("shape: %d/%d vs %d/%d", got.Len(), got.Qubits(), orig.Len(), orig.Qubits())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if !got.At(i).Equal(orig.At(i)) {
+			t.Fatalf("string %d differs", i)
+		}
+		if got.Coeff(i) != orig.Coeff(i) {
+			t.Fatalf("coeff %d: %v vs %v", i, got.Coeff(i), orig.Coeff(i))
+		}
+	}
+}
+
+func TestWriteReadNoCoeffs(t *testing.T) {
+	orig := NewSet(3)
+	orig.Append(MustParse("XYZ"))
+	orig.Append(MustParse("ZZI"))
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasCoeffs() {
+		t.Fatal("coefficients invented")
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestReadSetSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nXX 1.5\n  \n# mid comment\nYY -2\n"
+	set, err := ReadSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || set.Coeff(1) != -2 {
+		t.Fatalf("parsed %d strings, coeff %v", set.Len(), set.Coeff(1))
+	}
+}
+
+func TestReadSetErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"# only comments\n", // no strings
+		"XQ\n",              // bad letter
+		"XX\nYYY\n",         // ragged lengths
+		"XX notanumber\n",   // bad coefficient
+	}
+	for _, in := range cases {
+		if _, err := ReadSet(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

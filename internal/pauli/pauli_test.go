@@ -1,0 +1,229 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, s := range []string{"I", "X", "Y", "Z", "IXYZ", "XXYY", "ZZZZZZZZZZZZZZZZZZZZZZZZZ"} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if p.Len() != len(s) {
+			t.Errorf("Len(%q) = %d", s, p.Len())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(""); err != ErrEmpty {
+		t.Errorf("empty: got %v", err)
+	}
+	if _, err := Parse("IXQZ"); err == nil {
+		t.Error("invalid letter accepted")
+	}
+}
+
+func TestParseLowercase(t *testing.T) {
+	p, err := Parse("ixyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "IXYZ" {
+		t.Errorf("lowercase parse: %q", p.String())
+	}
+}
+
+func TestOpAnticommutes(t *testing.T) {
+	ops := []Op{I, X, Y, Z}
+	for _, a := range ops {
+		for _, b := range ops {
+			want := a != b && a != I && b != I
+			if got := a.Anticommutes(b); got != want {
+				t.Errorf("%c.Anticommutes(%c) = %v, want %v", a.Letter(), b.Letter(), got, want)
+			}
+		}
+	}
+}
+
+func TestKnownAnticommutation(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"X", "Y", true},
+		{"X", "X", false},
+		{"X", "I", false},
+		{"XX", "YY", false},  // two mismatches: even -> commute
+		{"XX", "YI", true},   // one mismatch
+		{"XYZ", "YZX", true}, // three mismatches
+		{"IIII", "XYZX", false},
+		{"XYXY", "YXYX", false},
+		{"XXXY", "YYXX", true}, // mismatches at 0,1,3 = 3, odd
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.Anticommutes(b); got != c.want {
+			t.Errorf("%s vs %s: encoded = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := a.AnticommutesNaive(b); got != c.want {
+			t.Errorf("%s vs %s: naive = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := a.AnticommutesSymplectic(b); got != c.want {
+			t.Errorf("%s vs %s: symplectic = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestThreeImplementationsAgree cross-validates the encoded AND+popcount
+// path against the naive character comparison and the symplectic form on
+// random pairs, including lengths spanning multiple words.
+func TestThreeImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(100)
+		a, b := Random(n, rng), Random(n, rng)
+		enc := a.Anticommutes(b)
+		naive := a.AnticommutesNaive(b)
+		sym := a.AnticommutesSymplectic(b)
+		if enc != naive || enc != sym {
+			t.Fatalf("disagreement on %s vs %s: enc=%v naive=%v sym=%v",
+				a, b, enc, naive, sym)
+		}
+	}
+}
+
+func TestAnticommutationSymmetryQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%64
+		r := rand.New(rand.NewSource(seed))
+		a, b := Random(n, r), Random(n, r)
+		return a.Anticommutes(b) == b.Anticommutes(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnticommutationIrreflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		p := Random(1+rng.Intn(64), rng)
+		if p.Anticommutes(p) {
+			t.Fatalf("%s anticommutes with itself", p)
+		}
+	}
+}
+
+func TestIdentityCommutesWithEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(64)
+		id := NewString(n)
+		p := Random(n, rng)
+		if id.Anticommutes(p) || p.Anticommutes(id) {
+			t.Fatalf("identity anticommutes with %s", p)
+		}
+	}
+}
+
+func TestWeightAndIsIdentity(t *testing.T) {
+	if got := MustParse("IXIZ").Weight(); got != 2 {
+		t.Errorf("Weight = %d, want 2", got)
+	}
+	if !MustParse("IIII").IsIdentity() {
+		t.Error("IIII not identity")
+	}
+	if MustParse("IIXI").IsIdentity() {
+		t.Error("IIXI is identity")
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		a, b := Random(n, rng), Random(n, rng)
+		ab, kab := a.Mul(b)
+		ba, kba := b.Mul(a)
+		if !ab.Equal(ba) {
+			t.Fatalf("products differ up to phase: %s vs %s", ab, ba)
+		}
+		// Commuting strings: same phase. Anticommuting: phases differ by 2 (i^2 = -1).
+		diff := ((kab-kba)%4 + 4) % 4
+		if a.Anticommutes(b) {
+			if diff != 2 {
+				t.Fatalf("anticommuting pair %s,%s: phase diff %d, want 2", a, b, diff)
+			}
+		} else if diff != 0 {
+			t.Fatalf("commuting pair %s,%s: phase diff %d, want 0", a, b, diff)
+		}
+		// p * p = identity with phase 0.
+		sq, k := a.Mul(a)
+		if !sq.IsIdentity() || k != 0 {
+			t.Fatalf("%s squared = %s phase %d", a, sq, k)
+		}
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	seen := map[string]string{}
+	s := AllStrings(4)
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		k := p.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between %s and %s", prev, p)
+		}
+		seen[k] = p.String()
+	}
+	if len(seen) != 256 {
+		t.Fatalf("expected 256 distinct strings, got %d", len(seen))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse("XYZI")
+	q := p.Clone()
+	q.Set(0, Z)
+	if p.At(0) != X {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestSymplecticRoundTrip(t *testing.T) {
+	p := MustParse("IXYZ")
+	x, z := p.Symplectic()
+	// I=(0,0) X=(1,0) Y=(1,1) Z=(0,1) at positions 0..3
+	if x[0] != 0b0110 {
+		t.Errorf("x = %b", x[0])
+	}
+	if z[0] != 0b1100 {
+		t.Errorf("z = %b", z[0])
+	}
+}
+
+func BenchmarkAnticommuteEncoded(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p, q := Random(24, rng), Random(24, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Anticommutes(q)
+	}
+}
+
+func BenchmarkAnticommuteNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p, q := Random(24, rng), Random(24, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.AnticommutesNaive(q)
+	}
+}

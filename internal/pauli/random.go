@@ -1,0 +1,112 @@
+package pauli
+
+import "math/rand"
+
+// Random returns a uniformly random Pauli string on n qubits drawn from rng.
+func Random(n int, rng *rand.Rand) String {
+	p := NewString(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, opFromIndex(rng.Intn(4)))
+	}
+	return p
+}
+
+// RandomNonIdentity returns a uniformly random non-identity string.
+func RandomNonIdentity(n int, rng *rand.Rand) String {
+	for {
+		p := Random(n, rng)
+		if !p.IsIdentity() {
+			return p
+		}
+	}
+}
+
+// RandomSet returns a set of m distinct random Pauli strings on n qubits.
+// It panics if m exceeds 4^n (the total number of strings).
+func RandomSet(n, m int, rng *rand.Rand) *Set {
+	if n < 32 && m > 1<<(2*uint(n)) {
+		panic("pauli: requested more distinct strings than exist")
+	}
+	s := NewSetCapacity(n, m)
+	seen := make(map[string]bool, m)
+	for s.Len() < m {
+		p := Random(n, rng)
+		k := p.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		s.Append(p)
+	}
+	return s
+}
+
+// RandomSetWeighted returns m distinct random strings whose non-identity
+// weight is biased toward w (a rough model of the locality structure of
+// Jordan–Wigner terms). Weight is clamped to [1, n].
+func RandomSetWeighted(n, m, w int, rng *rand.Rand) *Set {
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	s := NewSetCapacity(n, m)
+	seen := make(map[string]bool, m)
+	for s.Len() < m {
+		p := NewString(n)
+		// Choose a contiguous support of about w positions with jitter,
+		// mimicking JW ladders, then fill with random non-identity ops.
+		span := w + rng.Intn(w+1) - w/2
+		if span < 1 {
+			span = 1
+		}
+		if span > n {
+			span = n
+		}
+		start := rng.Intn(n - span + 1)
+		for i := start; i < start+span; i++ {
+			p.Set(i, opFromIndex(1+rng.Intn(3)))
+		}
+		k := p.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		s.Append(p)
+	}
+	return s
+}
+
+func opFromIndex(i int) Op {
+	switch i {
+	case 1:
+		return X
+	case 2:
+		return Y
+	case 3:
+		return Z
+	}
+	return I
+}
+
+// AllStrings enumerates every Pauli string on n qubits in lexicographic
+// order of (I, X, Y, Z) digits. Exponential: use only for tiny n (tests and
+// the H2/sto-3g style illustration of the paper's Fig. 1).
+func AllStrings(n int) *Set {
+	if n > 10 {
+		panic("pauli: AllStrings is exponential; n too large")
+	}
+	total := 1 << (2 * uint(n))
+	s := NewSetCapacity(n, total)
+	for code := 0; code < total; code++ {
+		p := NewString(n)
+		c := code
+		for i := 0; i < n; i++ {
+			p.Set(i, opFromIndex(c&3))
+			c >>= 2
+		}
+		s.Append(p)
+	}
+	return s
+}

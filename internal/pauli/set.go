@@ -1,0 +1,226 @@
+package pauli
+
+import (
+	"fmt"
+	"sort"
+
+	"picasso/internal/bitvec"
+)
+
+// Set is a flat, cache-friendly collection of Pauli strings of equal length.
+// All encodings live in one contiguous slab (wordsPer words per string), so a
+// set of two million strings costs only the slab — this is the vertex-set
+// representation from which Picasso derives edges on the fly without ever
+// materializing the graph (paper §IV-A).
+type Set struct {
+	n        int // qubits per string
+	wordsPer int
+	slab     []uint64
+	coeffs   []float64 // optional per-string coefficient (may be nil)
+}
+
+// NewSet returns an empty set of strings on n qubits.
+func NewSet(n int) *Set {
+	return &Set{n: n, wordsPer: bitvec.WordsFor(n)}
+}
+
+// NewSetCapacity returns an empty set with space preallocated for m strings.
+func NewSetCapacity(n, m int) *Set {
+	s := NewSet(n)
+	s.slab = make([]uint64, 0, m*s.wordsPer)
+	return s
+}
+
+// Qubits returns the string length N.
+func (s *Set) Qubits() int { return s.n }
+
+// Len returns the number of strings in the set.
+func (s *Set) Len() int {
+	if s.wordsPer == 0 {
+		return 0
+	}
+	return len(s.slab) / s.wordsPer
+}
+
+// Append adds a string to the set and returns its index.
+func (s *Set) Append(p String) int {
+	if p.n != s.n {
+		panic(fmt.Sprintf("pauli: appending %d-qubit string to %d-qubit set", p.n, s.n))
+	}
+	s.slab = append(s.slab, p.enc...)
+	if s.coeffs != nil {
+		s.coeffs = append(s.coeffs, 0)
+	}
+	return s.Len() - 1
+}
+
+// AppendWithCoeff adds a string with a coefficient.
+func (s *Set) AppendWithCoeff(p String, c float64) int {
+	if s.coeffs == nil {
+		s.coeffs = make([]float64, s.Len())
+	}
+	i := s.Append(p)
+	s.coeffs[i] = c
+	return i
+}
+
+// Enc returns the packed encoding of string i as a shared slice view.
+func (s *Set) Enc(i int) bitvec.Vec {
+	return bitvec.Vec(s.slab[i*s.wordsPer : (i+1)*s.wordsPer])
+}
+
+// At reconstructs string i (sharing the underlying words).
+func (s *Set) At(i int) String {
+	return String{n: s.n, enc: s.Enc(i)}
+}
+
+// Coeff returns the coefficient of string i (0 when none were stored).
+func (s *Set) Coeff(i int) float64 {
+	if s.coeffs == nil {
+		return 0
+	}
+	return s.coeffs[i]
+}
+
+// HasCoeffs reports whether coefficients were stored.
+func (s *Set) HasCoeffs() bool { return s.coeffs != nil }
+
+// Anticommute reports whether strings i and j anticommute (an edge of the
+// anticommutation graph G).
+func (s *Set) Anticommute(i, j int) bool {
+	a := s.slab[i*s.wordsPer : (i+1)*s.wordsPer]
+	b := s.slab[j*s.wordsPer : (j+1)*s.wordsPer]
+	return bitvec.AndParity(a, b)
+}
+
+// CommuteEdge reports whether (i, j) is an edge of the complement graph G'
+// (the graph Picasso colors): i ≠ j and the strings commute.
+func (s *Set) CommuteEdge(i, j int) bool {
+	return i != j && !s.Anticommute(i, j)
+}
+
+// CountComplementEdges enumerates all pairs and counts the edges of G'.
+// Quadratic: intended for dataset reporting (Table II), not the hot path.
+func (s *Set) CountComplementEdges() int64 {
+	n := s.Len()
+	var edges int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.CommuteEdge(i, j) {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// Subset returns a new set holding the strings at the given indices.
+func (s *Set) Subset(idx []int) *Set {
+	sub := NewSetCapacity(s.n, len(idx))
+	for _, i := range idx {
+		if s.coeffs != nil {
+			sub.AppendWithCoeff(s.At(i), s.coeffs[i])
+		} else {
+			sub.Append(s.At(i))
+		}
+	}
+	return sub
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, wordsPer: s.wordsPer}
+	c.slab = append([]uint64(nil), s.slab...)
+	if s.coeffs != nil {
+		c.coeffs = append([]float64(nil), s.coeffs...)
+	}
+	return c
+}
+
+// Bytes returns the memory footprint of the set's backing storage, used by
+// the memory-accounting model.
+func (s *Set) Bytes() int64 {
+	b := int64(cap(s.slab)) * 8
+	b += int64(cap(s.coeffs)) * 8
+	return b
+}
+
+// Strings renders every string's letter form; for tests and small dumps.
+func (s *Set) Strings() []string {
+	out := make([]string, s.Len())
+	for i := range out {
+		out[i] = s.At(i).String()
+	}
+	return out
+}
+
+// Dedup returns a new set with duplicate strings removed, coefficients of
+// duplicates accumulated, and terms with |coeff| <= tol dropped (when
+// coefficients are present). Order of first appearance is preserved.
+func (s *Set) Dedup(tol float64) *Set {
+	type slot struct {
+		idx   int
+		coeff float64
+	}
+	seen := make(map[string]*slot, s.Len())
+	order := make([]String, 0, s.Len())
+	slots := make([]*slot, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		k := p.Key()
+		if sl, ok := seen[k]; ok {
+			sl.coeff += s.Coeff(i)
+			continue
+		}
+		sl := &slot{idx: len(order), coeff: s.Coeff(i)}
+		seen[k] = sl
+		order = append(order, p.Clone())
+		slots = append(slots, sl)
+	}
+	out := NewSetCapacity(s.n, len(order))
+	for i, p := range order {
+		if s.coeffs != nil {
+			if abs(slots[i].coeff) <= tol {
+				continue
+			}
+			out.AppendWithCoeff(p, slots[i].coeff)
+		} else {
+			out.Append(p)
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SortByWeight orders the strings by increasing weight then lexicographic
+// letter form; deterministic canonical order for tests and goldens.
+func (s *Set) SortByWeight() {
+	n := s.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	keys := make([]string, n)
+	weights := make([]int, n)
+	for i := 0; i < n; i++ {
+		p := s.At(i)
+		keys[i] = p.String()
+		weights[i] = p.Weight()
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if weights[ia] != weights[ib] {
+			return weights[ia] < weights[ib]
+		}
+		return keys[ia] < keys[ib]
+	})
+	reordered := s.Subset(idx)
+	s.slab = reordered.slab
+	s.coeffs = reordered.coeffs
+}

@@ -1,0 +1,222 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetAppendAt(t *testing.T) {
+	s := NewSet(4)
+	strs := []string{"IXYZ", "XXXX", "ZZII"}
+	for _, str := range strs {
+		s.Append(MustParse(str))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i, str := range strs {
+		if got := s.At(i).String(); got != str {
+			t.Errorf("At(%d) = %q, want %q", i, got, str)
+		}
+	}
+}
+
+func TestSetAppendWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSet(4)
+	s.Append(MustParse("XX"))
+}
+
+func TestSetAnticommuteMatchesStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := RandomSet(10, 50, rng)
+	for i := 0; i < s.Len(); i++ {
+		for j := 0; j < s.Len(); j++ {
+			want := s.At(i).Anticommutes(s.At(j))
+			if got := s.Anticommute(i, j); got != want {
+				t.Fatalf("Anticommute(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCommuteEdgeIrreflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := RandomSet(8, 20, rng)
+	for i := 0; i < s.Len(); i++ {
+		if s.CommuteEdge(i, i) {
+			t.Fatalf("self edge at %d", i)
+		}
+	}
+}
+
+// TestEdgeCountIdentity checks |E| + |E'| = n(n-1)/2 where E is the
+// anticommutation edges and E' the complement (commutation) edges.
+func TestEdgeCountIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := RandomSet(8, 60, rng)
+	n := s.Len()
+	var anti int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Anticommute(i, j) {
+				anti++
+			}
+		}
+	}
+	comp := s.CountComplementEdges()
+	total := int64(n) * int64(n-1) / 2
+	if anti+comp != total {
+		t.Fatalf("anti %d + comp %d != %d", anti, comp, total)
+	}
+}
+
+func TestSetCoeffs(t *testing.T) {
+	s := NewSet(2)
+	s.AppendWithCoeff(MustParse("XX"), 0.5)
+	s.AppendWithCoeff(MustParse("ZZ"), -1.25)
+	if !s.HasCoeffs() {
+		t.Fatal("HasCoeffs false")
+	}
+	if s.Coeff(0) != 0.5 || s.Coeff(1) != -1.25 {
+		t.Fatalf("coeffs = %v %v", s.Coeff(0), s.Coeff(1))
+	}
+	// Append without coeff afterwards keeps slice aligned.
+	s.Append(MustParse("XY"))
+	if s.Coeff(2) != 0 {
+		t.Fatalf("default coeff = %v", s.Coeff(2))
+	}
+}
+
+func TestSetCoeffUpgrade(t *testing.T) {
+	s := NewSet(2)
+	s.Append(MustParse("XX"))
+	s.AppendWithCoeff(MustParse("YY"), 2)
+	if s.Coeff(0) != 0 || s.Coeff(1) != 2 {
+		t.Fatalf("coeffs = %v %v", s.Coeff(0), s.Coeff(1))
+	}
+}
+
+func TestSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := RandomSet(6, 10, rng)
+	sub := s.Subset([]int{7, 2, 9})
+	if sub.Len() != 3 {
+		t.Fatalf("Len = %d", sub.Len())
+	}
+	for k, i := range []int{7, 2, 9} {
+		if !sub.At(k).Equal(s.At(i)) {
+			t.Errorf("subset element %d mismatch", k)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSet(2)
+	s.AppendWithCoeff(MustParse("XZ"), 1)
+	c := s.Clone()
+	c.At(0).Set(0, Y)
+	if s.At(0).At(0) != X {
+		t.Error("clone aliases slab")
+	}
+}
+
+func TestDedupAccumulates(t *testing.T) {
+	s := NewSet(2)
+	s.AppendWithCoeff(MustParse("XX"), 1.0)
+	s.AppendWithCoeff(MustParse("YY"), 0.5)
+	s.AppendWithCoeff(MustParse("XX"), 2.0)
+	s.AppendWithCoeff(MustParse("ZZ"), 1e-14)
+	d := s.Dedup(1e-12)
+	if d.Len() != 2 {
+		t.Fatalf("Dedup len = %d, want 2 (ZZ dropped, XX merged)", d.Len())
+	}
+	if d.At(0).String() != "XX" || d.Coeff(0) != 3.0 {
+		t.Fatalf("merged term: %s %v", d.At(0), d.Coeff(0))
+	}
+	if d.At(1).String() != "YY" || d.Coeff(1) != 0.5 {
+		t.Fatalf("second term: %s %v", d.At(1), d.Coeff(1))
+	}
+}
+
+func TestDedupNoCoeffs(t *testing.T) {
+	s := NewSet(2)
+	s.Append(MustParse("XX"))
+	s.Append(MustParse("XX"))
+	s.Append(MustParse("YY"))
+	d := s.Dedup(0)
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestRandomSetDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := RandomSet(5, 200, rng)
+	seen := map[string]bool{}
+	for i := 0; i < s.Len(); i++ {
+		k := s.At(i).Key()
+		if seen[k] {
+			t.Fatalf("duplicate at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRandomSetWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := RandomSetWeighted(20, 100, 4, rng)
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	totalW := 0
+	for i := 0; i < s.Len(); i++ {
+		w := s.At(i).Weight()
+		if w == 0 {
+			t.Fatal("identity generated")
+		}
+		totalW += w
+	}
+	avg := float64(totalW) / 100
+	if avg < 2 || avg > 8 {
+		t.Errorf("average weight %.1f outside plausible band around 4", avg)
+	}
+}
+
+func TestAllStrings(t *testing.T) {
+	s := AllStrings(2)
+	if s.Len() != 16 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.At(0).String() != "II" {
+		t.Errorf("first = %s", s.At(0))
+	}
+}
+
+func TestSortByWeightDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := RandomSet(6, 30, rng)
+	s.SortByWeight()
+	prevW, prevS := -1, ""
+	for i := 0; i < s.Len(); i++ {
+		w, str := s.At(i).Weight(), s.At(i).String()
+		if w < prevW || (w == prevW && str < prevS) {
+			t.Fatalf("order violated at %d", i)
+		}
+		prevW, prevS = w, str
+	}
+}
+
+func TestSetBytes(t *testing.T) {
+	s := NewSetCapacity(24, 100)
+	for i := 0; i < 100; i++ {
+		s.Append(NewString(24))
+	}
+	if s.Bytes() < 100*8*int64(s.wordsPer) {
+		t.Fatalf("Bytes = %d too small", s.Bytes())
+	}
+}

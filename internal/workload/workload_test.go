@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestTableIIShape(t *testing.T) {
+	insts := TableII()
+	if len(insts) != 18 {
+		t.Fatalf("instances = %d, want 18", len(insts))
+	}
+	if len(SmallSet()) != 7 {
+		t.Fatalf("small = %d, want 7", len(SmallSet()))
+	}
+	if len(MediumSet()) != 7 {
+		t.Fatalf("medium = %d, want 7", len(MediumSet()))
+	}
+	if len(LargeSet()) != 4 {
+		t.Fatalf("large = %d, want 4", len(LargeSet()))
+	}
+	// Paper order: edges nondecreasing within the table.
+	prev := int64(0)
+	for _, inst := range insts {
+		if inst.PaperEdges < prev {
+			t.Errorf("%s out of order", inst.Name)
+		}
+		prev = inst.PaperEdges
+	}
+}
+
+func TestByName(t *testing.T) {
+	inst, err := ByName("H6 3D sto3g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.PaperTerms != 8721 {
+		t.Fatalf("terms = %d", inst.PaperTerms)
+	}
+	if _, err := ByName("H99 9D nope"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+	if _, err := ClassOf("H6 3D sto3g"); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := ClassOf("H10 1D sto3g"); c != Large {
+		t.Fatalf("class = %s", c)
+	}
+}
+
+func TestBuildSmallInstance(t *testing.T) {
+	inst, _ := ByName("H6 3D sto3g")
+	set, err := inst.Build(DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Qubits() != inst.PaperQubits {
+		t.Fatalf("qubits %d, paper %d", set.Qubits(), inst.PaperQubits)
+	}
+	if set.Len() < 100 {
+		t.Fatalf("suspiciously small: %d terms", set.Len())
+	}
+	// Cache: second build returns the identical object.
+	again, err := inst.Build(DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != set {
+		t.Error("cache miss on identical options")
+	}
+}
+
+func TestBuildMaxTerms(t *testing.T) {
+	inst, _ := ByName("H6 1D sto3g")
+	opts := DefaultBuild()
+	opts.MaxTerms = 500
+	set, err := inst.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 500 {
+		t.Fatalf("len = %d", set.Len())
+	}
+}
+
+func TestMeasureDensity(t *testing.T) {
+	inst, _ := ByName("H6 3D sto3g")
+	opts := DefaultBuild()
+	opts.MaxTerms = 800
+	st, err := inst.Measure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Terms != 800 {
+		t.Fatalf("terms = %d", st.Terms)
+	}
+	if st.Density < 0.25 || st.Density > 0.9 {
+		t.Errorf("density %.2f outside dense band", st.Density)
+	}
+	if st.Edges <= 0 {
+		t.Error("no edges measured")
+	}
+}
+
+func TestScaledRandom(t *testing.T) {
+	o := ScaledRandom(50, 0.5, 1)
+	if o.NumVertices() != 50 {
+		t.Fatal("wrong n")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := SortedNames()
+	if len(names) != 18 || names[0] != "H6 3D sto3g" {
+		t.Fatalf("names = %v", names[:1])
+	}
+}

@@ -1,0 +1,213 @@
+// Package picasso is a memory-efficient palette-based graph colorer with a
+// quantum-computing front end, reproducing "Picasso: Memory-Efficient Graph
+// Coloring Using Palettes With Applications in Quantum Computing" (Ferdous
+// et al., IPDPS 2024).
+//
+// The library solves the unitary-partitioning problem: given a large set of
+// Pauli strings, group them into few classes of mutually anticommuting
+// strings so each class can be measured as a single unitary. The grouping
+// is a clique partition of the anticommutation graph, computed as a proper
+// coloring of its ~50%-dense complement — a graph Picasso colors without
+// ever materializing it. Each iteration samples a random candidate-color
+// list per vertex from a fresh palette, builds only the provably small
+// conflict subgraph, list-colors it most-constrained-first, and recurses on
+// the vertices whose lists ran dry.
+//
+// Basic use on Pauli strings:
+//
+//	set, _ := picasso.ParsePauliStrings([]string{"IXYZ", "XXII", "ZZYX"})
+//	res, _ := picasso.ColorPauli(set, picasso.Normal(1))
+//	groups := picasso.Groups(set, res.Colors)
+//
+// Basic use on any graph, via an edge oracle that is consulted on demand:
+//
+//	o := picasso.RandomGraph(100000, 0.5, 42)
+//	res, _ := picasso.Color(o, picasso.Aggressive(7))
+//
+// The simulated accelerator reproduces the paper's GPU path, including its
+// memory-budget behavior:
+//
+//	opts := picasso.Normal(1)
+//	opts.Device = picasso.NewA100()
+//	res, err := picasso.Color(o, opts) // err is OOM when the budget bursts
+package picasso
+
+import (
+	"fmt"
+
+	"picasso/internal/chem"
+	"picasso/internal/core"
+	"picasso/internal/gpusim"
+	"picasso/internal/graph"
+	"picasso/internal/memtrack"
+	"picasso/internal/mlpredict"
+	"picasso/internal/pauli"
+)
+
+// Core aliases: the full option/result surface of the algorithm.
+type (
+	// Options parameterizes a run; see Normal and Aggressive for the
+	// paper's two operating points.
+	Options = core.Options
+	// Result carries the coloring, per-iteration statistics, timing
+	// breakdown and memory peak.
+	Result = core.Result
+	// IterStats is one iteration of Algorithm 1.
+	IterStats = core.IterStats
+	// ListStrategy selects the conflict-graph coloring algorithm.
+	ListStrategy = core.ListStrategy
+	// Coloring is a color per vertex.
+	Coloring = graph.Coloring
+	// Oracle is an implicit graph: NumVertices plus an edge test.
+	Oracle = graph.Oracle
+	// PauliSet is a flat collection of Pauli strings.
+	PauliSet = pauli.Set
+	// PauliString is a single tensor product of Pauli operators.
+	PauliString = pauli.String
+	// Molecule identifies a hydrogen-system instance (Hn, geometry, basis).
+	Molecule = chem.Molecule
+	// Device is a simulated memory-limited accelerator.
+	Device = gpusim.Device
+	// MemoryTracker is the byte-exact accounting model behind Table IV.
+	MemoryTracker = memtrack.Tracker
+)
+
+// Conflict-graph coloring strategies.
+const (
+	// DynamicBuckets is the paper's Algorithm 2 (default, best quality).
+	DynamicBuckets = core.DynamicBuckets
+	// StaticNatural colors the conflict graph in vertex order.
+	StaticNatural = core.StaticNatural
+	// StaticLargest colors by decreasing conflict degree.
+	StaticLargest = core.StaticLargest
+	// StaticRandom colors in a random order.
+	StaticRandom = core.StaticRandom
+)
+
+// Normal returns the paper's "Norm." configuration: palette 12.5% of |V|,
+// α = 2 — the memory-optimal operating point.
+func Normal(seed int64) Options { return core.Normal(seed) }
+
+// Aggressive returns the paper's "Aggr." configuration: palette 3% of |V|,
+// α = 30 — the quality-optimal operating point.
+func Aggressive(seed int64) Options { return core.Aggressive(seed) }
+
+// Color runs Picasso on any graph presented as an edge oracle. The graph is
+// never materialized; memory stays sublinear in the edge count under the
+// paper's ∆/P assumption.
+func Color(o Oracle, opts Options) (*Result, error) {
+	return core.Color(o, opts)
+}
+
+// ColorPauli colors the commutation graph of a Pauli-string set, yielding a
+// clique partition of the anticommutation graph: the unitary grouping.
+func ColorPauli(set *PauliSet, opts Options) (*Result, error) {
+	return core.Color(core.NewPauliOracle(set), opts)
+}
+
+// ParsePauliStrings builds a set from letter strings such as "IXYZ". All
+// strings must share one length.
+func ParsePauliStrings(strs []string) (*PauliSet, error) {
+	if len(strs) == 0 {
+		return nil, fmt.Errorf("picasso: empty string list")
+	}
+	set := pauli.NewSetCapacity(len(strs[0]), len(strs))
+	for i, s := range strs {
+		p, err := pauli.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("picasso: string %d: %w", i, err)
+		}
+		if p.Len() != set.Qubits() {
+			return nil, fmt.Errorf("picasso: string %d has length %d, want %d", i, p.Len(), set.Qubits())
+		}
+		set.Append(p)
+	}
+	return set, nil
+}
+
+// BuildMolecule constructs the Pauli-string workload of a named hydrogen
+// system (e.g. "H6 3D sto3g"), the synthetic-integral equivalent of the
+// paper's Table II instances. targetTerms grows the instance with
+// coupled-cluster-style ansatz products toward the requested size
+// (0 = bare Hamiltonian).
+func BuildMolecule(name string, targetTerms int) (*PauliSet, error) {
+	mol, err := chem.ParseMolecule(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := chem.DefaultHamiltonianOptions()
+	if targetTerms <= 0 {
+		return chem.BuildHamiltonian(mol, opts)
+	}
+	return chem.BuildToTarget(mol, opts, targetTerms)
+}
+
+// Groups converts a coloring of the commutation graph into the unitary
+// groups: slices of string indices, one per color class, each a clique of
+// the anticommutation graph.
+func Groups(set *PauliSet, c Coloring) [][]int {
+	classes := graph.ColorClasses(c)
+	out := make([][]int, 0, len(classes))
+	for col := int32(0); len(out) < len(classes); col++ {
+		if members, ok := classes[col]; ok {
+			g := make([]int, len(members))
+			for i, v := range members {
+				g[i] = int(v)
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// VerifyGrouping checks end to end that the coloring is a proper coloring
+// of the commutation graph AND a clique partition of the anticommutation
+// graph — the application-level guarantee of Definition 1.
+func VerifyGrouping(set *PauliSet, c Coloring) error {
+	if err := graph.VerifyOracle(core.NewPauliOracle(set), c); err != nil {
+		return err
+	}
+	return graph.VerifyCliquePartition(core.AnticommuteOracle{Set: set}, c)
+}
+
+// RandomGraph returns a deterministic Erdős–Rényi G(n, density) edge oracle
+// computed from hashes: zero storage at any density.
+func RandomGraph(n int, density float64, seed uint64) Oracle {
+	return graph.RandomOracle{N: n, P: density, Seed: seed}
+}
+
+// ComplementOf returns the complement view of an oracle.
+func ComplementOf(o Oracle) Oracle { return graph.Complement{G: o} }
+
+// NewDevice returns a simulated accelerator with the given byte budget and
+// worker parallelism (0 workers = GOMAXPROCS).
+func NewDevice(name string, capacity int64, workers int) *Device {
+	return gpusim.NewDevice(name, capacity, workers)
+}
+
+// NewA100 returns the paper's 40 GB device.
+func NewA100() *Device { return gpusim.NewA100() }
+
+// Verify checks that a coloring is proper and complete on an oracle.
+func Verify(o Oracle, c Coloring) error { return graph.VerifyOracle(o, c) }
+
+// Tune sweeps the paper's (P′, α) grid on the given oracle and returns the
+// Options minimizing the §VI objective β·colors + (1−β)·conflict-work
+// (both min-max normalized over the grid). β → 1 optimizes quality,
+// β → 0 optimizes memory and runtime. This is the sweep underlying the
+// paper's ML predictor; cmd/trainpredictor trains the random-forest model
+// on many such sweeps.
+func Tune(o Oracle, beta float64, seed int64) (Options, error) {
+	if beta < 0 || beta > 1 {
+		return Options{}, fmt.Errorf("picasso: beta %v outside [0, 1]", beta)
+	}
+	// A compact grid keeps Tune affordable; the CLI exposes the full one.
+	pfracs := []float64{0.01, 0.03, 0.0625, 0.125, 0.2}
+	alphas := []float64{0.5, 1, 2, 4.5}
+	sweep, err := mlpredict.Sweep(o, 0, pfracs, alphas, seed, 0)
+	if err != nil {
+		return Options{}, err
+	}
+	best := sweep.OptimalFor(beta)
+	return Options{PaletteFrac: best.PFrac, Alpha: best.Alpha, Seed: seed}, nil
+}

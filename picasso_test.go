@@ -1,0 +1,142 @@
+package picasso_test
+
+import (
+	"testing"
+
+	"picasso"
+)
+
+func TestParseAndColorPauli(t *testing.T) {
+	set, err := picasso.ParsePauliStrings([]string{
+		"IIII", "XYXY", "YYXY", "XXXY", "YXXY", "XYYY", "YYYY", "XXYY",
+		"YXYY", "XYXX", "YYXX", "XXXX", "YXXX", "XYYX", "YYYX", "XXYX", "YXYX",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := picasso.ColorPauli(set, picasso.Aggressive(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.VerifyGrouping(set, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	groups := picasso.Groups(set, res.Colors)
+	if len(groups) != res.NumColors {
+		t.Fatalf("groups %d vs colors %d", len(groups), res.NumColors)
+	}
+	if len(groups) >= set.Len() {
+		t.Errorf("no compression: %d groups for %d strings", len(groups), set.Len())
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != set.Len() {
+		t.Fatalf("groups cover %d of %d strings", total, set.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := picasso.ParsePauliStrings(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := picasso.ParsePauliStrings([]string{"XX", "QQ"}); err == nil {
+		t.Error("bad letters accepted")
+	}
+	if _, err := picasso.ParsePauliStrings([]string{"XX", "XXX"}); err == nil {
+		t.Error("ragged lengths accepted")
+	}
+}
+
+func TestColorRandomGraph(t *testing.T) {
+	o := picasso.RandomGraph(300, 0.5, 7)
+	res, err := picasso.Color(o, picasso.Normal(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.Verify(o, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementOf(t *testing.T) {
+	o := picasso.RandomGraph(50, 0.3, 9)
+	c := picasso.ComplementOf(o)
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			if u != v && o.HasEdge(u, v) == c.HasEdge(u, v) {
+				t.Fatalf("complement wrong at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestBuildMolecule(t *testing.T) {
+	set, err := picasso.BuildMolecule("H4 1D sto3g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Qubits() != 8 {
+		t.Fatalf("qubits = %d", set.Qubits())
+	}
+	grown, err := picasso.BuildMolecule("H4 1D sto3g", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() <= set.Len() {
+		t.Errorf("target growth failed: %d vs %d", grown.Len(), set.Len())
+	}
+	if _, err := picasso.BuildMolecule("nonsense", 0); err == nil {
+		t.Error("bad molecule accepted")
+	}
+}
+
+func TestDeviceBudget(t *testing.T) {
+	o := picasso.RandomGraph(200, 0.6, 11)
+	opts := picasso.Normal(2)
+	opts.Device = picasso.NewDevice("small", 1<<28, 0)
+	res, err := picasso.Color(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.Verify(o, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if picasso.NewA100().Capacity != 40e9 {
+		t.Error("A100 capacity wrong")
+	}
+}
+
+func TestMemoryTrackerIntegration(t *testing.T) {
+	var tr picasso.MemoryTracker
+	opts := picasso.Normal(4)
+	opts.Tracker = &tr
+	o := picasso.RandomGraph(200, 0.5, 13)
+	res, err := picasso.Color(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostPeakBytes <= 0 {
+		t.Error("no peak recorded")
+	}
+}
+
+func TestEndToEndMoleculeGrouping(t *testing.T) {
+	set, err := picasso.BuildMolecule("H2 1D 631g", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := picasso.ColorPauli(set, picasso.Normal(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.VerifyGrouping(set, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.NumColors) / float64(set.Len())
+	if ratio > 0.5 {
+		t.Errorf("weak compression: %d groups for %d strings (%.0f%%)",
+			res.NumColors, set.Len(), 100*ratio)
+	}
+}
