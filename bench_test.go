@@ -259,6 +259,40 @@ func BenchmarkAblationAtomics(b *testing.B) {
 	})
 }
 
+// BenchmarkConflictBuildBackends drives the registered conflict-construction
+// backends through the public API on a dense n=10k oracle, reporting the
+// build-phase time and the kernel's oracle-call savings. The kernel-level
+// all-pairs vs bucketed comparison lives in internal/backend
+// (BenchmarkConflictBuild); this one confirms the win survives end to end.
+func BenchmarkConflictBuildBackends(b *testing.B) {
+	o := picasso.RandomGraph(10000, 0.5, 42)
+	for _, be := range []string{"sequential", "parallel", "gpu"} {
+		b.Run(be, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := picasso.Normal(1)
+				opts.Backend = be
+				if be == "gpu" {
+					opts.Device = picasso.NewDevice("bench", 1<<33, 0)
+				}
+				res, err := picasso.Color(o, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var allPairs int64
+					for _, it := range res.Iters {
+						m := int64(it.ActiveVertices)
+						allPairs += m * (m - 1) / 2
+					}
+					b.ReportMetric(float64(res.BuildTime.Milliseconds()), "build-ms")
+					b.ReportMetric(float64(res.TotalPairsTested), "pairs-tested")
+					b.ReportMetric(float64(allPairs)/float64(res.TotalPairsTested), "allpairs-reduction")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkColorThroughput measures raw Picasso throughput on a dense
 // random graph (vertices per second via implicit-edge coloring).
 func BenchmarkColorThroughput(b *testing.B) {

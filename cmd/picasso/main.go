@@ -37,6 +37,7 @@ func main() {
 		pfrac    = flag.Float64("p", 0.125, "palette size as a fraction of |V| (custom mode)")
 		alpha    = flag.Float64("alpha", 2, "list-size factor (custom mode)")
 		strategy = flag.String("strategy", "dynamic", "conflict coloring: dynamic | natural | largest | random")
+		backendF = flag.String("backend", "auto", "conflict construction backend: "+strings.Join(picasso.Backends(), " | "))
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential)")
 		gpu      = flag.Float64("gpu", 0, "simulated device budget in bytes (0 = CPU path)")
@@ -62,6 +63,7 @@ func main() {
 	if *gpu > 0 {
 		opts.Device = picasso.NewDevice("sim", int64(*gpu), *workers)
 	}
+	opts.Backend = *backendF
 	var tr memtrack.Tracker
 	opts.Tracker = &tr
 
@@ -105,6 +107,8 @@ func main() {
 	fmt.Printf("colors: %d (%.2f%% of |V|)\n", res.NumColors, 100*float64(res.NumColors)/float64(n))
 	fmt.Printf("iterations: %d, max conflict edges: %d, total conflict edges: %d\n",
 		len(res.Iters), res.MaxConflictEdges, res.TotalConflictEdges)
+	fmt.Printf("conflict pairs tested: %d of %d all-pairs (bucketed kernel)\n",
+		res.TotalPairsTested, allPairsWork(res.Iters))
 	fmt.Printf("time: total %v (assign %v, conflict graph %v, conflict coloring %v)\n",
 		elapsed.Round(time.Millisecond), res.AssignTime.Round(time.Millisecond),
 		res.BuildTime.Round(time.Millisecond), res.ColorTime.Round(time.Millisecond))
@@ -114,9 +118,9 @@ func main() {
 	}
 	if *verbose {
 		for _, it := range res.Iters {
-			fmt.Printf("  iter %2d: active %7d  P %6d  L %3d  |Vc| %7d  |Ec| %9d  failed %6d\n",
+			fmt.Printf("  iter %2d: active %7d  P %6d  L %3d  |Vc| %7d  |Ec| %9d  pairs %10d  failed %6d\n",
 				it.Iteration, it.ActiveVertices, it.Palette, it.ListSize,
-				it.ConflictVertices, it.ConflictEdges, it.Failed)
+				it.ConflictVertices, it.ConflictEdges, it.PairsTested, it.Failed)
 		}
 	}
 
@@ -207,6 +211,18 @@ func writeGroups(path string, set *picasso.PauliSet, c picasso.Coloring) {
 			fmt.Fprintln(w, set.At(idx).String())
 		}
 	}
+}
+
+// allPairsWork sums the m(m−1)/2 pair tests a dense conflict scan would
+// have spent across the run's iterations — the denominator of the bucketed
+// kernel's savings.
+func allPairsWork(iters []picasso.IterStats) int64 {
+	var total int64
+	for _, it := range iters {
+		m := int64(it.ActiveVertices)
+		total += m * (m - 1) / 2
+	}
+	return total
 }
 
 func fatal(format string, args ...any) {

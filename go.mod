@@ -1,0 +1,3 @@
+module picasso
+
+go 1.24

@@ -1,0 +1,193 @@
+package backend
+
+import (
+	"sort"
+
+	"picasso/internal/bitvec"
+	"picasso/internal/graph"
+	"picasso/internal/memtrack"
+)
+
+// Buckets is the palette inverted index at the heart of every builder: for
+// each candidate color c ∈ [0, P), the ascending list of vertices whose
+// candidate list contains c, stored flat in CSR style (Off has P+1 entries
+// into Vtx, which has n·L entries — one per list slot, the same footprint as
+// the lists themselves).
+//
+// Two vertices share a candidate color exactly when they co-occur in some
+// bucket, so enumerating within-bucket pairs *is* the shares-color test:
+// no per-pair list intersection is ever computed, and the edge oracle is the
+// only per-pair work left.
+type Buckets struct {
+	P   int
+	Off []int64
+	Vtx []int32
+	// RowWeight[i] counts the bucket co-occurrences (j, i) with j > i over
+	// all of i's colors — an upper bound on row i's candidate pairs before
+	// deduplication, and the load measure for weighted row chunking.
+	// Σ RowWeight = PairWork.
+	RowWeight []int64
+}
+
+// NewBuckets builds the inverted index in two counting passes over the
+// lists, Θ(n·L) time and space.
+func NewBuckets(lists Lists) *Buckets {
+	n, P := lists.Len(), lists.Palette()
+	counts := make([]int64, P)
+	for i := 0; i < n; i++ {
+		for _, c := range lists.List(i) {
+			counts[c]++
+		}
+	}
+	off := graph.ExclusiveSum(counts)
+	vtx := make([]int32, off[P])
+	cur := make([]int64, P)
+	copy(cur, off[:P])
+	for i := 0; i < n; i++ {
+		for _, c := range lists.List(i) {
+			vtx[cur[c]] = int32(i)
+			cur[c]++
+		}
+	}
+	// Buckets are ascending by construction (vertices inserted in id order),
+	// so the member at position k of a bucket of size s has s−1−k larger
+	// co-members — the pairs its row will enumerate from that bucket.
+	weight := make([]int64, n)
+	for c := 0; c < P; c++ {
+		members := vtx[off[c]:off[c+1]]
+		for k, j := range members {
+			weight[j] += int64(len(members) - 1 - k)
+		}
+	}
+	return &Buckets{P: P, Off: off, Vtx: vtx, RowWeight: weight}
+}
+
+// Bytes returns the index footprint for budget accounting (device builders
+// ship the index alongside the lists).
+func (b *Buckets) Bytes() int64 {
+	return int64(cap(b.Off))*8 + int64(cap(b.Vtx))*4 + int64(cap(b.RowWeight))*8
+}
+
+// PairWork returns Σ_c |bucket_c|·(|bucket_c|−1)/2, the kernel's total pair
+// enumerations before deduplication — the Θ(Σ_c |bucket_c|²) bound that
+// replaces the all-pairs m(m−1)/2.
+func (b *Buckets) PairWork() int64 {
+	var total int64
+	for c := 0; c < b.P; c++ {
+		s := b.Off[c+1] - b.Off[c]
+		total += s * (s - 1) / 2
+	}
+	return total
+}
+
+// Scratch is the per-worker state of the row scan: a seen-bitset plus the
+// candidate list of the current row. One Scratch may be reused across any
+// number of sequential ForRow calls; concurrent rows need separate Scratches.
+type Scratch struct {
+	seen bitvec.Bits
+	cand []int32
+}
+
+// NewScratch returns scratch state for graphs of n vertices.
+func NewScratch(n int) *Scratch {
+	return &Scratch{seen: bitvec.NewBits(n)}
+}
+
+// Bytes returns the scratch footprint.
+func (s *Scratch) Bytes() int64 {
+	return s.seen.Bytes() + int64(cap(s.cand))*4
+}
+
+// ScratchBytes returns the bitset footprint of a Scratch for n vertices
+// without allocating one — for charging per-worker scratch to a tracker
+// up front (the candidate slice grows on demand and is excluded, as
+// transient append storage is throughout the memory model).
+func ScratchBytes(n int) int64 {
+	return int64((n+63)/64) * 8
+}
+
+// ForRow calls f exactly once for every vertex j > i sharing at least one
+// candidate color with i (in bucket-discovery order). Duplicates — pairs
+// sharing several colors — are suppressed with the scratch bitset, which is
+// restored to all-zero before f runs, so f may recurse into other rows.
+// Each bucket is entered at the first member greater than i via binary
+// search: rows near the top of a bucket never rescan the vertices below
+// them. Returns false if f aborted the scan.
+func (b *Buckets) ForRow(lists Lists, i int, s *Scratch, f func(j int32) bool) bool {
+	s.cand = s.cand[:0]
+	for _, c := range lists.List(i) {
+		members := b.Vtx[b.Off[c]:b.Off[c+1]]
+		k := sort.Search(len(members), func(k int) bool { return members[k] > int32(i) })
+		for _, j := range members[k:] {
+			if !s.seen.Test(int(j)) {
+				s.seen.Set(int(j))
+				s.cand = append(s.cand, j)
+			}
+		}
+	}
+	for _, j := range s.cand {
+		s.seen.Clear(int(j))
+	}
+	for _, j := range s.cand {
+		if !f(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRows runs the kernel over rows [lo, hi), appending the surviving
+// edges to coo and returning the number of pairs tested (each test is one
+// edge-oracle consultation — bucket co-occurrence already proved the pair
+// shares a color). This is the one conflict-test loop every builder
+// executes.
+func (b *Buckets) scanRows(o EdgeOracle, lists Lists, lo, hi int, s *Scratch, coo *graph.COO) int64 {
+	var calls int64
+	for i := lo; i < hi; i++ {
+		b.ForRow(lists, i, s, func(j int32) bool {
+			calls++
+			if o.Has(i, int(j)) {
+				coo.Append(int32(i), j)
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+// ReferenceAllPairs is the pre-bucketing construction kept as the benchmark
+// and equivalence baseline: a sequential scan of all m(m−1)/2 pairs with a
+// per-pair sorted-list intersection. It is not a registered backend — every
+// production builder uses the bucket kernel — but the package tests assert
+// edge-set equality against it and BenchmarkConflictBuild measures the gap.
+func ReferenceAllPairs(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	m := o.Len()
+	coo := &graph.COO{N: m}
+	var st Stats
+	for i := 0; i < m; i++ {
+		li := lists.List(i)
+		for j := i + 1; j < m; j++ {
+			st.PairsTested++
+			if intersectSorted(li, lists.List(j)) && o.Has(i, j) {
+				coo.Append(int32(i), int32(j))
+			}
+		}
+	}
+	return finishCOO(coo, tr, st)
+}
+
+// intersectSorted reports whether two ascending slices share an element.
+func intersectSorted(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

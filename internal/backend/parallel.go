@@ -1,0 +1,58 @@
+package backend
+
+import (
+	"picasso/internal/graph"
+	"picasso/internal/memtrack"
+	"picasso/internal/par"
+)
+
+func init() {
+	Register("parallel", func(cfg Config) (ConflictBuilder, error) {
+		return parBuilder{workers: cfg.Workers}, nil
+	})
+}
+
+// parBuilder is the multicore CPU path: rows are split into contiguous
+// chunks balanced by the buckets' per-row pair weights (not by row count —
+// candidate pairs are triangular and bucket-skewed), each worker runs the
+// kernel into a private edge buffer with private scratch, and the buffers
+// are concatenated in worker order so the edge list — and therefore the
+// downstream coloring — is identical to the sequential builder's.
+type parBuilder struct{ workers int }
+
+func (parBuilder) Name() string { return "parallel" }
+
+func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	m := o.Len()
+	workers := b.workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	bk := NewBuckets(lists)
+	// Charge the index plus every worker's seen-bitset: the parallel path
+	// holds workers× the scratch the sequential one does, and the byte-exact
+	// memory model should say so.
+	release := tr.Scoped(bk.Bytes() + int64(workers)*ScratchBytes(m))
+	defer release()
+
+	locals := make([]*graph.COO, workers)
+	calls := make([]int64, workers)
+	par.ForWeightedChunks(workers, bk.RowWeight, func(lo, hi, w int) {
+		s := NewScratch(m)
+		local := &graph.COO{N: m}
+		calls[w] = bk.scanRows(o, lists, lo, hi, s, local)
+		locals[w] = local
+	})
+
+	coo := &graph.COO{N: m}
+	var st Stats
+	for w, local := range locals {
+		if local == nil {
+			continue
+		}
+		coo.U = append(coo.U, local.U...)
+		coo.V = append(coo.V, local.V...)
+		st.PairsTested += calls[w]
+	}
+	return finishCOO(coo, tr, st)
+}

@@ -1,0 +1,29 @@
+package backend
+
+import (
+	"picasso/internal/graph"
+	"picasso/internal/memtrack"
+)
+
+func init() {
+	Register("sequential", func(Config) (ConflictBuilder, error) {
+		return seqBuilder{}, nil
+	})
+}
+
+// seqBuilder is the single-threaded CPU path (the paper's "CPU only"
+// configuration): one scratch, one pass of the bucket kernel over all rows.
+type seqBuilder struct{}
+
+func (seqBuilder) Name() string { return "sequential" }
+
+func (seqBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	m := o.Len()
+	bk := NewBuckets(lists)
+	s := NewScratch(m)
+	release := tr.Scoped(bk.Bytes() + s.Bytes())
+	defer release()
+	coo := &graph.COO{N: m}
+	st := Stats{PairsTested: bk.scanRows(o, lists, 0, m, s, coo)}
+	return finishCOO(coo, tr, st)
+}

@@ -1,7 +1,10 @@
-// Package bitvec provides fixed-width bit-vector utilities used by the
-// Pauli-string encoding layer. Strings are packed 3 bits per character into
-// 64-bit words (21 characters per word), so the anticommutation parity test
-// reduces to AND + popcount across whole words.
+// Package bitvec provides the bit-level storage primitives shared by the
+// Pauli-string encoding layer and the conflict-construction kernel: Vec packs
+// 3-bit groups (one Pauli character each) into 64-bit words so the
+// anticommutation parity test reduces to AND + popcount across whole words,
+// and Bits is a plain one-bit-per-index set used for O(1) membership tests
+// with cheap targeted clearing (the palette-bucket kernel's pair
+// deduplication).
 package bitvec
 
 import "math/bits"
@@ -92,3 +95,30 @@ func Equal(a, b Vec) bool {
 	}
 	return true
 }
+
+// Bits is a plain bitset over indices [0, n): one bit per index, packed into
+// 64-bit words. Unlike Vec it carries no group structure. Callers that test
+// few distinct indices per round should clear exactly the bits they set
+// (Clear) rather than zeroing the whole set — that keeps per-round cost
+// proportional to the indices touched, not to n.
+type Bits []uint64
+
+// NewBits returns a zeroed bitset capable of holding n indices.
+func NewBits(n int) Bits {
+	if n <= 0 {
+		return nil
+	}
+	return make(Bits, (n+63)/64)
+}
+
+// Set marks index i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear unmarks index i.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether index i is marked.
+func (b Bits) Test(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Bytes returns the backing-array footprint.
+func (b Bits) Bytes() int64 { return int64(cap(b)) * 8 }

@@ -155,3 +155,57 @@ func BenchmarkAndParity(b *testing.B) {
 		_ = AndParity(a, c)
 	}
 }
+
+func TestBitsSetTestClear(t *testing.T) {
+	b := NewBits(200)
+	if len(b) != 4 {
+		t.Fatalf("word count %d, want 4", len(b))
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 survived Clear")
+	}
+	if !b.Test(63) || !b.Test(65) {
+		t.Fatal("Clear(64) disturbed neighboring bits")
+	}
+}
+
+func TestBitsRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 513
+	b := NewBits(n)
+	ref := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			delete(ref, i)
+		default:
+			if b.Test(i) != ref[i] {
+				t.Fatalf("op %d: Test(%d) = %v, want %v", op, i, b.Test(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestBitsEmpty(t *testing.T) {
+	if b := NewBits(0); b != nil {
+		t.Fatalf("NewBits(0) = %v, want nil", b)
+	}
+	if got := NewBits(64); len(got) != 1 {
+		t.Fatalf("NewBits(64) has %d words, want 1", len(got))
+	}
+}

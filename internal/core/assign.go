@@ -3,22 +3,26 @@ package core
 import (
 	"math/rand"
 	"sort"
+
+	"picasso/internal/backend"
 )
 
 // colorLists holds the per-vertex candidate color lists of one iteration in
 // flat storage: vertex i owns lists[i*L : (i+1)*L], sorted ascending.
 // Colors are palette-local (in [0, P)); the iteration's base offset is added
 // only when a color is finalized, implementing the paper's fresh-palette
-// rule (palette of iteration ℓ is {(ℓ−1)P, …, ℓP−1}).
+// rule (palette of iteration ℓ is {(ℓ−1)P, …, ℓP−1}). It implements
+// backend.Lists, the view the conflict-construction kernel consumes; the
+// kernel's bucket index supersedes the per-pair intersection test this
+// struct used to carry, so the lists are pure storage.
 type colorLists struct {
-	n, L int
-	flat []int32
-	sig  []uint64 // 64-bit membership signature (c mod 64) per vertex
+	n, P, L int
+	flat    []int32
 }
 
 // Bytes returns the memory footprint of the list storage.
 func (cl *colorLists) Bytes() int64 {
-	return int64(cap(cl.flat))*4 + int64(cap(cl.sig))*8
+	return int64(cap(cl.flat)) * 4
 }
 
 // list returns vertex i's sorted candidate colors.
@@ -26,17 +30,31 @@ func (cl *colorLists) list(i int) []int32 {
 	return cl.flat[i*cl.L : (i+1)*cl.L]
 }
 
+// Len returns the vertex count (backend.Lists).
+func (cl *colorLists) Len() int { return cl.n }
+
+// ListSize returns L (backend.Lists).
+func (cl *colorLists) ListSize() int { return cl.L }
+
+// Palette returns P (backend.Lists).
+func (cl *colorLists) Palette() int { return cl.P }
+
+// List returns vertex i's sorted candidate colors (backend.Lists).
+func (cl *colorLists) List(i int) []int32 { return cl.list(i) }
+
+var _ backend.Lists = (*colorLists)(nil)
+
 // assignRandomLists samples, for each of n vertices, L distinct colors
 // uniformly at random from [0, P) (Algorithm 1, line 6) using Floyd's
-// subset-sampling algorithm, sorts each list for O(L) merge intersection,
-// and precomputes the signature word used to reject non-conflicting pairs
-// cheaply.
+// subset-sampling algorithm, sorting each list (the bucket kernel binary
+// searches within buckets and the list-coloring phase merges lists, both
+// relying on ascending order).
 func assignRandomLists(n, P, L int, rng *rand.Rand) *colorLists {
 	cl := &colorLists{
 		n:    n,
+		P:    P,
 		L:    L,
 		flat: make([]int32, n*L),
-		sig:  make([]uint64, n),
 	}
 	chosen := make(map[int32]struct{}, L)
 	for i := 0; i < n; i++ {
@@ -59,38 +77,6 @@ func assignRandomLists(n, P, L int, rng *rand.Rand) *colorLists {
 			}
 			sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
 		}
-		var s uint64
-		for _, c := range lst {
-			s |= 1 << uint(c%64)
-		}
-		cl.sig[i] = s
 	}
 	return cl
-}
-
-// sharesColor reports whether vertices i and j have intersecting candidate
-// lists: the conflict-edge test. The signature pre-check gives an exact
-// negative (no common bit ⇒ no common color); positives fall through to the
-// O(L) sorted merge.
-func (cl *colorLists) sharesColor(i, j int) bool {
-	if cl.sig[i]&cl.sig[j] == 0 {
-		return false
-	}
-	return intersectSorted(cl.list(i), cl.list(j))
-}
-
-// intersectSorted reports whether two ascending slices share an element.
-func intersectSorted(a, b []int32) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			return true
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return false
 }

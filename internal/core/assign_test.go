@@ -3,7 +3,6 @@ package core
 import (
 	"math/rand"
 	"testing"
-	"testing/quick"
 )
 
 func TestAssignRandomListsShape(t *testing.T) {
@@ -46,59 +45,9 @@ func TestAssignFullPalette(t *testing.T) {
 	}
 }
 
-func TestSignatureIsExactNegative(t *testing.T) {
-	// sig[i] & sig[j] == 0 must imply empty intersection (the converse may
-	// fail: mod-64 collisions give false positives, resolved by the merge).
-	rng := rand.New(rand.NewSource(3))
-	cl := assignRandomLists(200, 150, 9, rng)
-	for i := 0; i < 200; i++ {
-		for j := i + 1; j < 200; j++ {
-			merge := intersectSorted(cl.list(i), cl.list(j))
-			if cl.sig[i]&cl.sig[j] == 0 && merge {
-				t.Fatalf("signature missed an intersection at (%d,%d)", i, j)
-			}
-			if cl.sharesColor(i, j) != merge {
-				t.Fatalf("sharesColor != merge at (%d,%d)", i, j)
-			}
-		}
-	}
-}
-
-func TestIntersectSortedQuick(t *testing.T) {
-	f := func(a, b []uint8) bool {
-		// Build sorted distinct slices from the raw bytes.
-		mk := func(xs []uint8) []int32 {
-			seen := map[int32]bool{}
-			var out []int32
-			for _, x := range xs {
-				v := int32(x % 64)
-				if !seen[v] {
-					seen[v] = true
-					out = append(out, v)
-				}
-			}
-			for i := 1; i < len(out); i++ {
-				for j := i; j > 0 && out[j] < out[j-1]; j-- {
-					out[j], out[j-1] = out[j-1], out[j]
-				}
-			}
-			return out
-		}
-		sa, sb := mk(a), mk(b)
-		want := false
-		for _, x := range sa {
-			for _, y := range sb {
-				if x == y {
-					want = true
-				}
-			}
-		}
-		return intersectSorted(sa, sb) == want
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
-		t.Fatal(err)
-	}
-}
+// The pairwise shares-color test (signatures + sorted-merge intersection)
+// moved to the backend kernel's bucket co-occurrence; its correctness is
+// covered by internal/backend's equivalence tests.
 
 func TestListBytesPositive(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))

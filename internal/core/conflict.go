@@ -1,215 +1,43 @@
 package core
 
 import (
-	"fmt"
-	"sync/atomic"
-
-	"picasso/internal/gpusim"
+	"picasso/internal/backend"
 	"picasso/internal/graph"
-	"picasso/internal/memtrack"
-	"picasso/internal/par"
 )
 
-// conflictResult carries the conflict subgraph of one iteration, on the
-// iteration-local vertex ids [0, m).
-type conflictResult struct {
-	gc        *graph.CSR // conflict subgraph (vertices with degree 0 are unconflicted)
-	edges     int64      // |Ec|
-	onDevice  bool       // CSR generated within the device budget (Alg. 3 branch)
-	devPeak   int64      // device peak bytes during construction
-	hostBytes int64      // transient host bytes charged to the tracker
-}
+// Conflict-subgraph construction itself lives in internal/backend: core
+// hands the iteration-local oracle and candidate lists to the configured
+// backend.ConflictBuilder (Options.Backend / Options.Builder) and consumes
+// the returned CSR. This file only adapts the user's graph.Oracle to the
+// backend's iteration-local view.
 
 // edgeOracle answers adjacency between iteration-local indices by mapping
-// through the active-vertex table to the user's oracle.
+// through the active-vertex table to the user's oracle. It implements
+// backend.EdgeOracle, and forwards backend.DeviceSizer when the underlying
+// oracle carries device-resident vertex data (e.g. the encoded Pauli slab).
 type edgeOracle struct {
 	o      graph.Oracle
 	active []int32
 }
 
-func (e edgeOracle) has(i, j int) bool {
+// Len returns the active-vertex count m.
+func (e edgeOracle) Len() int { return len(e.active) }
+
+// Has reports input adjacency between local vertices i and j.
+func (e edgeOracle) Has(i, j int) bool {
 	return e.o.HasEdge(int(e.active[i]), int(e.active[j]))
 }
 
-// buildConflictSeq is the paper's CPU-only construction: a sequential scan
-// of all m(m−1)/2 pairs, keeping an edge when it is both an edge of the
-// input graph and list-conflicting (Algorithm 1, line 7).
-func buildConflictSeq(eo edgeOracle, cl *colorLists, tr *memtrack.Tracker) (*conflictResult, error) {
-	m := len(eo.active)
-	coo := &graph.COO{N: m}
-	for i := 0; i < m; i++ {
-		for j := i + 1; j < m; j++ {
-			if cl.sharesColor(i, j) && eo.has(i, j) {
-				coo.Append(int32(i), int32(j))
-			}
-		}
+// DeviceBytes reports the underlying oracle's device-resident input size,
+// or 0 when it has none.
+func (e edgeOracle) DeviceBytes() int64 {
+	if ds, ok := e.o.(backend.DeviceSizer); ok {
+		return ds.DeviceBytes()
 	}
-	return finishCOO(coo, tr, false, 0)
+	return 0
 }
 
-// buildConflictPar distributes rows across workers with per-worker edge
-// buffers (the multicore path).
-func buildConflictPar(eo edgeOracle, cl *colorLists, workers int, tr *memtrack.Tracker) (*conflictResult, error) {
-	m := len(eo.active)
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
-	locals := make([]*graph.COO, workers)
-	par.ForChunks(workers, m, func(lo, hi, w int) {
-		local := &graph.COO{N: m}
-		for i := lo; i < hi; i++ {
-			for j := i + 1; j < m; j++ {
-				if cl.sharesColor(i, j) && eo.has(i, j) {
-					local.Append(int32(i), int32(j))
-				}
-			}
-		}
-		locals[w] = local
-	})
-	coo := &graph.COO{N: m}
-	for _, local := range locals {
-		if local == nil {
-			continue
-		}
-		coo.U = append(coo.U, local.U...)
-		coo.V = append(coo.V, local.V...)
-	}
-	return finishCOO(coo, tr, false, 0)
-}
-
-// finishCOO converts the edge list to CSR and fills in accounting.
-func finishCOO(coo *graph.COO, tr *memtrack.Tracker, onDevice bool, devPeak int64) (*conflictResult, error) {
-	release := tr.Scoped(coo.Bytes())
-	gc, err := coo.ToCSR(coo.CountDegrees())
-	release()
-	if err != nil {
-		return nil, err
-	}
-	tr.Alloc(gc.Bytes())
-	return &conflictResult{
-		gc:        gc,
-		edges:     int64(coo.NumEdges()),
-		onDevice:  onDevice,
-		devPeak:   devPeak,
-		hostBytes: gc.Bytes(),
-	}, nil
-}
-
-// deviceSizer lets oracles report how many bytes their vertex data occupies
-// on the device (e.g. the encoded Pauli slab copied to the GPU in Alg. 3's
-// preprocessing). Oracles without the method are charged nothing.
-type deviceSizer interface{ DeviceBytes() int64 }
-
-// buildConflictGPU mirrors Algorithm 3 on the simulated device:
-//
-//	1: AvailMem = min(worst-case edge list, free device memory)
-//	2: allocate input data + 2|V| offset counters (4- or 8-byte) + edge list
-//	3: kernel fills an unordered COO with atomic cursors
-//	4: exclusive_sum of the per-vertex counts
-//	5: if the CSR fits in half the remaining budget, build it "on device";
-//	   otherwise fall back to the host CPU (charged to the host tracker).
-//
-// A conflict-edge overflow of the allocated list is a device OOM — exactly
-// how the largest instance in the paper fails on the 40 GB A100.
-func buildConflictGPU(dev *gpusim.Device, eo edgeOracle, cl *colorLists, tr *memtrack.Tracker) (*conflictResult, error) {
-	m := len(eo.active)
-	dev.ResetPeak()
-
-	// Preprocessing: vertex data and color lists move to the device.
-	inputBytes := cl.Bytes()
-	if ds, ok := eo.o.(deviceSizer); ok {
-		inputBytes += ds.DeviceBytes()
-	}
-	input, err := dev.Alloc(inputBytes)
-	if err != nil {
-		return nil, fmt.Errorf("core: device input allocation: %w", err)
-	}
-	defer input.Free()
-
-	// Offset counters: 8 bytes when |V|² overflows 32 bits (paper §V).
-	counterWidth := int64(4)
-	if uint64(m)*uint64(m) >= 1<<32 {
-		counterWidth = 8
-	}
-	counters, err := dev.Alloc(2 * int64(m) * counterWidth)
-	if err != nil {
-		return nil, fmt.Errorf("core: device counter allocation: %w", err)
-	}
-	defer counters.Free()
-
-	// Worst-case unordered edge list: m(m−1)/2 edges × 8 bytes (two int32),
-	// clamped to the remaining budget.
-	worstBytes := int64(m) * int64(m-1) / 2 * 8
-	availBytes := dev.Free()
-	edgeBytes := worstBytes
-	if edgeBytes > availBytes {
-		edgeBytes = availBytes
-	}
-	capEdges := edgeBytes / 8
-	if capEdges <= 0 && m > 1 {
-		return nil, &gpusim.ErrOutOfMemory{Device: dev.Name, Requested: 8, Free: availBytes}
-	}
-	edgeBuf, err := dev.Alloc(capEdges * 8)
-	if err != nil {
-		return nil, fmt.Errorf("core: device edge-list allocation: %w", err)
-	}
-	defer edgeBuf.Free()
-
-	// Kernel: one logical thread per row, atomic cursor into the edge list,
-	// atomic per-vertex degree counters.
-	u32 := make([]int32, capEdges)
-	v32 := make([]int32, capEdges)
-	deg := make([]int64, m)
-	var cursor atomic.Int64
-	var overflow atomic.Bool
-	dev.Launch(m, func(i int) {
-		for j := i + 1; j < m; j++ {
-			if cl.sharesColor(i, j) && eo.has(i, j) {
-				idx := cursor.Add(1) - 1
-				if idx >= capEdges {
-					overflow.Store(true)
-					return
-				}
-				u32[idx] = int32(i)
-				v32[idx] = int32(j)
-				atomic.AddInt64(&deg[i], 1)
-				atomic.AddInt64(&deg[j], 1)
-			}
-		}
-	})
-	if overflow.Load() {
-		return nil, &gpusim.ErrOutOfMemory{
-			Device:    dev.Name,
-			Requested: (cursor.Load() + 1) * 8,
-			Free:      edgeBytes,
-		}
-	}
-	edges := cursor.Load()
-	coo := &graph.COO{N: m, U: u32[:edges], V: v32[:edges]}
-
-	// CSR generation: device if 2·|Ec| entries fit the spare budget, else host.
-	csrBytes := 2*edges*4 + int64(m+1)*8
-	onDevice := false
-	var csrBuf *gpusim.Buffer
-	if csrBytes <= dev.Free() {
-		if b, err := dev.Alloc(csrBytes); err == nil {
-			csrBuf = b
-			onDevice = true
-		}
-	}
-	devPeak := dev.Peak()
-	gc, err := coo.ToCSR(deg)
-	if csrBuf != nil {
-		csrBuf.Free()
-	}
-	if err != nil {
-		return nil, err
-	}
-	res := &conflictResult{gc: gc, edges: edges, onDevice: onDevice, devPeak: devPeak}
-	if !onDevice {
-		// Host-side CSR: charge the host tracker (Alg. 3 line 8).
-		tr.Alloc(gc.Bytes())
-		res.hostBytes = gc.Bytes()
-	}
-	return res, nil
-}
+var (
+	_ backend.EdgeOracle  = edgeOracle{}
+	_ backend.DeviceSizer = edgeOracle{}
+)

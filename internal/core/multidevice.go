@@ -2,179 +2,20 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"picasso/internal/gpusim"
 	"picasso/internal/graph"
-	"picasso/internal/memtrack"
 )
 
-// Multi-device conflict-graph construction — the paper's future-work item
-// "distributed multi-GPU parallel implementations" (§VIII). The pair space
-// of one iteration is split into balanced row bands; each simulated device
-// runs Algorithm 3's kernel on its band against its own memory budget, and
-// the per-device edge lists are merged on the host. The coloring itself is
-// unchanged (and still deterministic): only line 7 of Algorithm 1 is
-// distributed.
-
-// buildConflictMultiGPU partitions rows across devices. Row i owns the
-// pairs (i, j) with j > i, so early rows carry more pairs; the band split
-// balances the pair count, not the row count: band boundaries are chosen so
-// each device scans ~m(m−1)/2/D pairs.
-func buildConflictMultiGPU(devs []*gpusim.Device, eo edgeOracle, cl *colorLists, tr *memtrack.Tracker) (*conflictResult, error) {
-	if len(devs) == 0 {
-		return nil, fmt.Errorf("core: no devices")
-	}
-	if len(devs) == 1 {
-		return buildConflictGPU(devs[0], eo, cl, tr)
-	}
-	m := len(eo.active)
-	bounds := bandBounds(m, len(devs))
-
-	type bandResult struct {
-		coo *graph.COO
-		err error
-	}
-	results := make([]bandResult, len(devs))
-	var wg sync.WaitGroup
-	for d := range devs {
-		lo, hi := bounds[d], bounds[d+1]
-		if lo >= hi {
-			results[d] = bandResult{coo: &graph.COO{N: m}}
-			continue
-		}
-		wg.Add(1)
-		go func(d, lo, hi int) {
-			defer wg.Done()
-			coo, err := deviceBandScan(devs[d], eo, cl, lo, hi)
-			results[d] = bandResult{coo: coo, err: err}
-		}(d, lo, hi)
-	}
-	wg.Wait()
-	merged := &graph.COO{N: m}
-	var devPeak int64
-	for d, r := range results {
-		if r.err != nil {
-			return nil, fmt.Errorf("core: device %d: %w", d, r.err)
-		}
-		merged.U = append(merged.U, r.coo.U...)
-		merged.V = append(merged.V, r.coo.V...)
-		if p := devs[d].Peak(); p > devPeak {
-			devPeak = p
-		}
-	}
-	return finishCOO(merged, tr, false, devPeak)
-}
-
-// deviceBandScan runs one device's kernel over rows [lo, hi): input copy,
-// worst-case band edge list, atomic cursor, OOM on overflow — the same
-// memory discipline as the single-device Algorithm 3.
-func deviceBandScan(dev *gpusim.Device, eo edgeOracle, cl *colorLists, lo, hi int) (*graph.COO, error) {
-	m := len(eo.active)
-	dev.ResetPeak()
-	inputBytes := cl.Bytes()
-	if ds, ok := eo.o.(deviceSizer); ok {
-		inputBytes += ds.DeviceBytes()
-	}
-	input, err := dev.Alloc(inputBytes)
-	if err != nil {
-		return nil, err
-	}
-	defer input.Free()
-
-	// Worst case for the band: Σ_{i∈[lo,hi)} (m−1−i) pairs. A band that
-	// owns only trailing rows may have none.
-	worstPairs := bandPairs(m, lo, hi)
-	if worstPairs == 0 {
-		return &graph.COO{N: m}, nil
-	}
-	edgeBytes := worstPairs * 8
-	if free := dev.Free(); edgeBytes > free {
-		edgeBytes = free
-	}
-	capEdges := edgeBytes / 8
-	if capEdges <= 0 {
-		return nil, &gpusim.ErrOutOfMemory{Device: dev.Name, Requested: 8, Free: dev.Free()}
-	}
-	buf, err := dev.Alloc(capEdges * 8)
-	if err != nil {
-		return nil, err
-	}
-	defer buf.Free()
-
-	u32 := make([]int32, capEdges)
-	v32 := make([]int32, capEdges)
-	var cursor int64
-	var mu sync.Mutex
-	overflow := false
-	dev.LaunchChunked(hi-lo, func(clo, chi, _ int) {
-		local := make([][2]int32, 0, 1024)
-		flush := func() bool {
-			mu.Lock()
-			base := cursor
-			cursor += int64(len(local))
-			mu.Unlock()
-			if cursor > capEdges {
-				mu.Lock()
-				overflow = true
-				mu.Unlock()
-				return false
-			}
-			for k, e := range local {
-				u32[base+int64(k)] = e[0]
-				v32[base+int64(k)] = e[1]
-			}
-			local = local[:0]
-			return true
-		}
-		for i := lo + clo; i < lo+chi; i++ {
-			for j := i + 1; j < m; j++ {
-				if cl.sharesColor(i, j) && eo.has(i, j) {
-					local = append(local, [2]int32{int32(i), int32(j)})
-					if len(local) == cap(local) && !flush() {
-						return
-					}
-				}
-			}
-		}
-		flush()
-	})
-	if overflow {
-		return nil, &gpusim.ErrOutOfMemory{Device: dev.Name, Requested: (cursor + 1) * 8, Free: edgeBytes}
-	}
-	return &graph.COO{N: m, U: u32[:cursor], V: v32[:cursor]}, nil
-}
-
-// bandBounds returns D+1 row boundaries splitting the triangular pair space
-// into D near-equal bands.
-func bandBounds(m, d int) []int {
-	total := int64(m) * int64(m-1) / 2
-	bounds := make([]int, d+1)
-	bounds[d] = m
-	row, acc := 0, int64(0)
-	for band := 1; band < d; band++ {
-		target := total * int64(band) / int64(d)
-		for row < m && acc < target {
-			acc += int64(m - 1 - row)
-			row++
-		}
-		bounds[band] = row
-	}
-	return bounds
-}
-
-// bandPairs counts the pairs owned by rows [lo, hi).
-func bandPairs(m, lo, hi int) int64 {
-	var n int64
-	for i := lo; i < hi; i++ {
-		n += int64(m - 1 - i)
-	}
-	return n
-}
-
-// MultiDeviceOption extends Options with a device group. Exposed through
-// ColorMultiDevice rather than an Options field to keep the single-device
-// API identical to the paper's.
+// ColorMultiDevice runs Picasso with conflict-graph construction distributed
+// across a device group — the paper's future-work item "distributed
+// multi-GPU parallel implementations" (§VIII), implemented by the "multigpu"
+// backend: the row space of each iteration is split into weight-balanced
+// bands, every device runs Algorithm 3's kernel on its band against its own
+// memory budget, and the per-device edge lists are merged on the host. The
+// coloring itself is unchanged (and still deterministic): only line 7 of
+// Algorithm 1 is distributed. Exposed as a function rather than an Options
+// field to keep the single-device API identical to the paper's.
 func ColorMultiDevice(o graph.Oracle, opts Options, devs []*gpusim.Device) (*Result, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("core: ColorMultiDevice needs at least one device")

@@ -75,38 +75,5 @@ func TestMultiDeviceErrors(t *testing.T) {
 	}
 }
 
-func TestBandBoundsBalance(t *testing.T) {
-	for _, m := range []int{10, 101, 1000} {
-		for _, d := range []int{1, 2, 3, 7} {
-			bounds := bandBounds(m, d)
-			if len(bounds) != d+1 || bounds[0] != 0 || bounds[d] != m {
-				t.Fatalf("m=%d d=%d: bounds %v", m, d, bounds)
-			}
-			total := int64(m) * int64(m-1) / 2
-			for band := 0; band < d; band++ {
-				if bounds[band] > bounds[band+1] {
-					t.Fatalf("m=%d d=%d: bounds not monotone: %v", m, d, bounds)
-				}
-				pairs := bandPairs(m, bounds[band], bounds[band+1])
-				// Each band within 2x of the fair share plus slack for
-				// row granularity.
-				fair := total / int64(d)
-				if fair > int64(m) && pairs > 2*fair+int64(m) {
-					t.Errorf("m=%d d=%d band %d: %d pairs vs fair %d", m, d, band, pairs, fair)
-				}
-			}
-		}
-	}
-}
-
-func TestBandPairsSum(t *testing.T) {
-	m := 57
-	bounds := bandBounds(m, 4)
-	var sum int64
-	for b := 0; b < 4; b++ {
-		sum += bandPairs(m, bounds[b], bounds[b+1])
-	}
-	if want := int64(m) * int64(m-1) / 2; sum != want {
-		t.Fatalf("bands cover %d pairs, want %d", sum, want)
-	}
-}
+// Band-splitting unit tests live with the implementation in
+// internal/backend (TestWeightedBoundsBalance, TestBandPairs).

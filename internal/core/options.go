@@ -8,12 +8,34 @@
 // The input graph itself is never stored: it is consulted through a
 // graph.Oracle edge test, which for the quantum workload is the AND+popcount
 // anticommutation check on encoded Pauli strings.
+//
+// # The backend seam
+//
+// Conflict-subgraph construction (Algorithm 1 line 7, Algorithm 3 on
+// devices) is not implemented here: core dispatches it through the
+// backend.ConflictBuilder interface. Options.Backend selects an
+// implementation by registry name ("sequential", "parallel", "gpu",
+// "multigpu"; empty selects automatically from Workers/Device), and
+// Options.Builder injects an explicit instance. Core's contribution per
+// iteration is the pair (edgeOracle, colorLists): the iteration-local
+// adjacency view over the active vertices and the candidate lists, both
+// satisfying the backend's interfaces.
+//
+// Every registered backend shares the palette-bucket kernel: vertices are
+// bucketed by candidate color (an inverted index palette → vertices), and
+// only pairs co-occurring in a bucket — exactly the pairs sharing a
+// candidate color — are ever examined, deduplicated with a bitset. Per
+// iteration that is Θ(Σ_c |bucket_c|²) pair tests instead of the Θ(m²) of a
+// dense scan (the oracle-call counts are similar — a dense scan
+// short-circuits on the list intersection — the savings are the per-pair
+// intersection tests); IterStats.PairsTested reports the realized count.
 package core
 
 import (
 	"fmt"
 	"math"
 
+	"picasso/internal/backend"
 	"picasso/internal/gpusim"
 	"picasso/internal/memtrack"
 )
@@ -62,6 +84,16 @@ type Options struct {
 	MaxIterations int
 	// Tracker, when non-nil, receives host memory accounting (Table IV).
 	Tracker *memtrack.Tracker
+	// Backend names the conflict-construction backend from the registry:
+	// "sequential", "parallel", "gpu", "multigpu", or "" / "auto" to select
+	// from Workers/Device automatically. The named backend still draws its
+	// resources from this struct (Workers, Device), so e.g. "gpu" without a
+	// Device is a validation error.
+	Backend string
+	// Builder, when non-nil, is an explicit conflict-builder instance and
+	// overrides Backend — the injection point for out-of-registry
+	// implementations (tests, instrumentation wrappers).
+	Builder backend.ConflictBuilder
 
 	// multiDevices distributes conflict-graph construction across a device
 	// group (set via ColorMultiDevice; the paper's multi-GPU future work).
@@ -104,6 +136,17 @@ func (o *Options) validate() error {
 	}
 	if o.MaxIterations < 0 {
 		return fmt.Errorf("core: negative max iterations")
+	}
+	if o.Builder == nil {
+		b, err := backend.New(o.Backend, backend.Config{
+			Workers: o.Workers,
+			Device:  o.Device,
+			Devices: o.multiDevices,
+		})
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		o.Builder = b
 	}
 	return nil
 }

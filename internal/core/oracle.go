@@ -1,6 +1,7 @@
 package core
 
 import (
+	"picasso/internal/backend"
 	"picasso/internal/graph"
 	"picasso/internal/pauli"
 )
@@ -43,7 +44,7 @@ func (a AnticommuteOracle) HasEdge(u, v int) bool {
 }
 
 var (
-	_ graph.Oracle = PauliOracle{}
-	_ graph.Oracle = AnticommuteOracle{}
-	_ deviceSizer  = PauliOracle{}
+	_ graph.Oracle        = PauliOracle{}
+	_ graph.Oracle        = AnticommuteOracle{}
+	_ backend.DeviceSizer = PauliOracle{}
 )

@@ -16,6 +16,7 @@ type IterStats struct {
 	ListSize         int           // Lℓ
 	ConflictVertices int           // |Vc|
 	ConflictEdges    int64         // |Ec|
+	PairsTested      int64         // candidate pairs the build examined (vs m(m−1)/2 all-pairs)
 	Unconflicted     int           // vertices colored directly (line 8)
 	Colored          int           // total vertices colored this iteration
 	Failed           int           // |Vu| carried to the next iteration
@@ -36,6 +37,10 @@ type Result struct {
 	// Conflicting Edge percentage").
 	TotalConflictEdges int64
 	MaxConflictEdges   int64
+	// TotalPairsTested sums the candidate pairs the conflict builds
+	// examined — the work the palette-bucket kernel actually spent, versus
+	// the Σ m(m−1)/2 pair tests of an all-pairs scan.
+	TotalPairsTested int64
 	// Fallback reports that MaxIterations was hit and the remaining
 	// vertices were finished with fresh singleton colors.
 	Fallback bool
@@ -90,34 +95,23 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 		st.AssignTime = time.Since(t0)
 		listRelease := opts.Tracker.Scoped(cl.Bytes())
 
-		// Line 7: conflict subgraph.
+		// Line 7: conflict subgraph, via the configured backend.
 		t1 := time.Now()
 		eo := edgeOracle{o: o, active: active}
-		var (
-			conf *conflictResult
-			err  error
-		)
-		switch {
-		case len(opts.multiDevices) > 0:
-			conf, err = buildConflictMultiGPU(opts.multiDevices, eo, cl, opts.Tracker)
-		case opts.Device != nil:
-			conf, err = buildConflictGPU(opts.Device, eo, cl, opts.Tracker)
-		case opts.Workers == 1:
-			conf, err = buildConflictSeq(eo, cl, opts.Tracker)
-		default:
-			conf, err = buildConflictPar(eo, cl, opts.Workers, opts.Tracker)
-		}
+		conf, bst, err := opts.Builder.Build(eo, cl, opts.Tracker)
 		if err != nil {
 			listRelease()
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
 		st.BuildTime = time.Since(t1)
-		st.ConflictEdges = conf.edges
-		st.CSROnDevice = conf.onDevice
-		st.DevicePeakBytes = conf.devPeak
-		res.TotalConflictEdges += conf.edges
-		if conf.edges > res.MaxConflictEdges {
-			res.MaxConflictEdges = conf.edges
+		st.ConflictEdges = conf.Edges
+		st.PairsTested = bst.PairsTested
+		st.CSROnDevice = bst.OnDevice
+		st.DevicePeakBytes = bst.DevicePeakBytes
+		res.TotalConflictEdges += conf.Edges
+		res.TotalPairsTested += bst.PairsTested
+		if conf.Edges > res.MaxConflictEdges {
+			res.MaxConflictEdges = conf.Edges
 		}
 
 		// Lines 8–9: color unconflicted vertices directly, then the
@@ -125,7 +119,7 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 		t2 := time.Now()
 		conflicted := make([]int32, 0, m)
 		for i := 0; i < m; i++ {
-			if conf.gc.Degree(i) > 0 {
+			if conf.G.Degree(i) > 0 {
 				conflicted = append(conflicted, int32(i))
 			} else {
 				lst := cl.list(i)
@@ -137,9 +131,9 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 
 		var lc *listColorResult
 		if opts.Strategy == DynamicBuckets {
-			lc = colorConflictDynamic(conf.gc, cl, conflicted, rng)
+			lc = colorConflictDynamic(conf.G, cl, conflicted, rng)
 		} else {
-			lc = colorConflictStatic(conf.gc, cl, conflicted, opts.Strategy, rng)
+			lc = colorConflictStatic(conf.G, cl, conflicted, opts.Strategy, rng)
 		}
 		for _, v := range conflicted {
 			if c := lc.assign[v]; c != -1 {
@@ -152,7 +146,7 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 
 		// Release per-iteration structures.
 		listRelease()
-		opts.Tracker.Free(conf.hostBytes)
+		opts.Tracker.Free(bst.HostBytes)
 
 		// Line 11–12: recurse on the failed vertices with a fresh palette.
 		next := make([]int32, 0, len(lc.failed))

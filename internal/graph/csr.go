@@ -110,6 +110,22 @@ func (g *CSR) Validate() error {
 	return nil
 }
 
+// EdgeList returns the undirected edges as (u, v) pairs with u < v, in
+// lexicographic order — the canonical form used to compare conflict graphs
+// across construction backends (adjacency is sorted, so walking each
+// vertex's upper neighbors emits edges already ordered).
+func (g *CSR) EdgeList() [][2]int32 {
+	out := make([][2]int32, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				out = append(out, [2]int32{int32(u), v})
+			}
+		}
+	}
+	return out
+}
+
 // FromEdges builds a CSR from an undirected edge list. Duplicate edges and
 // self loops are rejected.
 func FromEdges(n int, edges [][2]int32) (*CSR, error) {

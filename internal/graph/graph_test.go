@@ -356,3 +356,40 @@ func TestCSRBytesPositive(t *testing.T) {
 		t.Fatal("COO bytes must be positive")
 	}
 }
+
+func TestEdgeListCanonical(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}
+	g, err := FromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.EdgeList()
+	want := [][2]int32{{0, 1}, {0, 4}, {1, 2}, {2, 3}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("%d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Round trip: FromEdges(EdgeList) reproduces the graph.
+	g2, err := FromEdges(5, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			if g.HasEdge(u, v) != g2.HasEdge(u, v) {
+				t.Fatalf("round trip differs at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestEdgeListEmpty(t *testing.T) {
+	g := &CSR{N: 3, Offsets: make([]int64, 4)}
+	if got := g.EdgeList(); len(got) != 0 {
+		t.Fatalf("empty graph produced %d edges", len(got))
+	}
+}

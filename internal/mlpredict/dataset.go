@@ -56,10 +56,17 @@ func DefaultBetas() []float64 {
 // Sweep runs Picasso across the (P′, α) grid on one graph (Step 1 of the
 // §VI methodology) and records colors and conflict work per cell.
 func Sweep(o graph.Oracle, edges int64, pfracs, alphas []float64, seed int64, workers int) (*SweepResult, error) {
+	return SweepBackend(o, edges, pfracs, alphas, seed, workers, "")
+}
+
+// SweepBackend is Sweep with an explicit conflict-construction backend
+// (registry name; empty selects automatically), so parameter tuning can run
+// on the same execution path the tuned configuration will use.
+func SweepBackend(o graph.Oracle, edges int64, pfracs, alphas []float64, seed int64, workers int, backendName string) (*SweepResult, error) {
 	res := &SweepResult{V: o.NumVertices(), E: edges}
 	for _, pf := range pfracs {
 		for _, a := range alphas {
-			opts := core.Options{PaletteFrac: pf, Alpha: a, Seed: seed, Workers: workers}
+			opts := core.Options{PaletteFrac: pf, Alpha: a, Seed: seed, Workers: workers, Backend: backendName}
 			r, err := core.Color(o, opts)
 			if err != nil {
 				return nil, fmt.Errorf("mlpredict: sweep (P=%.3f, α=%.1f): %w", pf, a, err)

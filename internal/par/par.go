@@ -90,6 +90,55 @@ func ForChunks(workers, n int, f func(lo, hi, worker int)) {
 	wg.Wait()
 }
 
+// ForWeightedChunks runs f(lo, hi, worker) over contiguous chunks of
+// [0, len(weights)) whose total weights are approximately balanced: chunk
+// boundaries are placed at the prefix-sum targets w·Σweights/workers. This is
+// the load-balancing primitive for triangular or bucket-skewed work where
+// equal index ranges carry wildly unequal cost (e.g. per-row candidate
+// counts of the conflict-build kernel). Zero-weight prefixes and suffixes
+// collapse into their neighbors; at most `workers` chunks are issued.
+func ForWeightedChunks(workers int, weights []int64, f func(lo, hi, worker int)) {
+	n := len(weights)
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if workers == 1 || total == 0 {
+		f(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	lo, acc, worker := 0, int64(0), 0
+	for chunk := 1; chunk <= workers && lo < n; chunk++ {
+		target := total * int64(chunk) / int64(workers)
+		hi := lo
+		for hi < n && (acc < target || hi == lo) {
+			acc += weights[hi]
+			hi++
+		}
+		if chunk == workers {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			f(lo, hi, w)
+		}(lo, hi, worker)
+		worker++
+		lo = hi
+	}
+	wg.Wait()
+}
+
 // SumInt64 reduces per-index contributions in parallel.
 func SumInt64(workers, n int, f func(i int) int64) int64 {
 	if n <= 0 {

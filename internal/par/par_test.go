@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -73,5 +74,81 @@ func TestSumInt64(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+func TestForWeightedChunksCoverage(t *testing.T) {
+	// Every index must be visited exactly once, whatever the weight skew.
+	shapes := [][]int64{
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{100, 0, 0, 0, 0, 0, 0, 1},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+		{1},
+	}
+	for _, weights := range shapes {
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			visits := make([]int32, len(weights))
+			var mu sync.Mutex
+			seen := map[int]bool{}
+			ForWeightedChunks(workers, weights, func(lo, hi, w int) {
+				mu.Lock()
+				if seen[w] {
+					mu.Unlock()
+					t.Fatalf("worker id %d reused", w)
+				}
+				seen[w] = true
+				mu.Unlock()
+				if w < 0 || w >= workers {
+					t.Errorf("worker id %d outside [0,%d)", w, workers)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("weights %v workers %d: index %d visited %d times",
+						weights, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestForWeightedChunksBalance(t *testing.T) {
+	// Triangular weights (row i of an m-row pair scan owns m-1-i pairs):
+	// chunk loads must be within 2x of the fair share plus one row of slack.
+	const m, workers = 1000, 4
+	weights := make([]int64, m)
+	var total int64
+	for i := range weights {
+		weights[i] = int64(m - 1 - i)
+		total += weights[i]
+	}
+	var mu sync.Mutex
+	var loads []int64
+	ForWeightedChunks(workers, weights, func(lo, hi, _ int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += weights[i]
+		}
+		mu.Lock()
+		loads = append(loads, s)
+		mu.Unlock()
+	})
+	fair := total / workers
+	for _, l := range loads {
+		if l > 2*fair+int64(m) {
+			t.Errorf("chunk load %d vs fair share %d", l, fair)
+		}
+	}
+}
+
+func TestForWeightedChunksEmpty(t *testing.T) {
+	called := false
+	ForWeightedChunks(4, nil, func(lo, hi, w int) { called = true })
+	if called {
+		t.Fatal("callback invoked for empty weights")
 	}
 }

@@ -30,11 +30,20 @@
 //	opts := picasso.Normal(1)
 //	opts.Device = picasso.NewA100()
 //	res, err := picasso.Color(o, opts) // err is OOM when the budget bursts
+//
+// Conflict-graph construction is pluggable: Options.Backend names one of the
+// registered backends (Backends lists them — sequential, parallel, gpu,
+// multigpu), all of which share the palette-bucket inverted-index kernel and
+// produce bit-identical colorings:
+//
+//	opts.Backend = "parallel"
 package picasso
 
 import (
 	"fmt"
+	"slices"
 
+	"picasso/internal/backend"
 	"picasso/internal/chem"
 	"picasso/internal/core"
 	"picasso/internal/gpusim"
@@ -70,6 +79,13 @@ type (
 	Device = gpusim.Device
 	// MemoryTracker is the byte-exact accounting model behind Table IV.
 	MemoryTracker = memtrack.Tracker
+	// ConflictBuilder is the pluggable conflict-construction backend:
+	// Options.Backend selects a registered one by name (see Backends), and
+	// Options.Builder injects a custom instance.
+	ConflictBuilder = backend.ConflictBuilder
+	// BuildStats reports how one conflict-graph construction went (device
+	// residency, memory peaks, oracle consultations).
+	BuildStats = backend.Stats
 )
 
 // Conflict-graph coloring strategies.
@@ -143,19 +159,25 @@ func BuildMolecule(name string, targetTerms int) (*PauliSet, error) {
 }
 
 // Groups converts a coloring of the commutation graph into the unitary
-// groups: slices of string indices, one per color class, each a clique of
-// the anticommutation graph.
+// groups: slices of string indices, one per color class in ascending color
+// order, each a clique of the anticommutation graph. Color ids may be
+// arbitrarily sparse (iteration palettes leave gaps), so the class map is
+// walked by its sorted keys, not probed color-by-color.
 func Groups(set *PauliSet, c Coloring) [][]int {
 	classes := graph.ColorClasses(c)
+	cols := make([]int32, 0, len(classes))
+	for col := range classes {
+		cols = append(cols, col)
+	}
+	slices.Sort(cols)
 	out := make([][]int, 0, len(classes))
-	for col := int32(0); len(out) < len(classes); col++ {
-		if members, ok := classes[col]; ok {
-			g := make([]int, len(members))
-			for i, v := range members {
-				g[i] = int(v)
-			}
-			out = append(out, g)
+	for _, col := range cols {
+		members := classes[col]
+		g := make([]int, len(members))
+		for i, v := range members {
+			g[i] = int(v)
 		}
+		out = append(out, g)
 	}
 	return out
 }
@@ -188,6 +210,12 @@ func NewDevice(name string, capacity int64, workers int) *Device {
 // NewA100 returns the paper's 40 GB device.
 func NewA100() *Device { return gpusim.NewA100() }
 
+// Backends lists the registered conflict-construction backends, "auto"
+// first. Set Options.Backend to one of these names; "auto" (or the empty
+// string) picks from Workers/Device the way the historical inline dispatch
+// did.
+func Backends() []string { return backend.Names() }
+
 // Verify checks that a coloring is proper and complete on an oracle.
 func Verify(o Oracle, c Coloring) error { return graph.VerifyOracle(o, c) }
 
@@ -197,17 +225,29 @@ func Verify(o Oracle, c Coloring) error { return graph.VerifyOracle(o, c) }
 // β → 0 optimizes memory and runtime. This is the sweep underlying the
 // paper's ML predictor; cmd/trainpredictor trains the random-forest model
 // on many such sweeps.
-func Tune(o Oracle, beta float64, seed int64) (Options, error) {
+//
+// An optional backend name (see Backends) runs the sweep — and stamps the
+// returned Options — with that conflict-construction backend, so tuning
+// measures the execution path the tuned configuration will actually use.
+func Tune(o Oracle, beta float64, seed int64, backendName ...string) (Options, error) {
 	if beta < 0 || beta > 1 {
 		return Options{}, fmt.Errorf("picasso: beta %v outside [0, 1]", beta)
+	}
+	be := ""
+	switch len(backendName) {
+	case 0:
+	case 1:
+		be = backendName[0]
+	default:
+		return Options{}, fmt.Errorf("picasso: Tune takes at most one backend name, got %d", len(backendName))
 	}
 	// A compact grid keeps Tune affordable; the CLI exposes the full one.
 	pfracs := []float64{0.01, 0.03, 0.0625, 0.125, 0.2}
 	alphas := []float64{0.5, 1, 2, 4.5}
-	sweep, err := mlpredict.Sweep(o, 0, pfracs, alphas, seed, 0)
+	sweep, err := mlpredict.SweepBackend(o, 0, pfracs, alphas, seed, 0, be)
 	if err != nil {
 		return Options{}, err
 	}
 	best := sweep.OptimalFor(beta)
-	return Options{PaletteFrac: best.PFrac, Alpha: best.Alpha, Seed: seed}, nil
+	return Options{PaletteFrac: best.PFrac, Alpha: best.Alpha, Seed: seed, Backend: be}, nil
 }
