@@ -1,0 +1,68 @@
+// Command benchjson converts `go test -bench` text output into JSON, for
+// the CI benchmark artifact (BENCH_conflict.json): per-commit,
+// machine-readable conflict-build and end-to-end numbers.
+//
+//	go test -run '^$' -bench ConflictBuild -benchtime 2x ./... | benchjson -o BENCH_conflict.json
+//
+// Reads stdin (or the files given as arguments), writes indented JSON to
+// -o (default stdout). Exits nonzero on malformed benchmark lines or when
+// no benchmarks were found — an empty artifact is a broken pipeline, not a
+// result.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"picasso/internal/benchparse"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	allowEmpty := flag.Bool("allow-empty", false, "do not fail when the input has no benchmark lines")
+	flag.Parse()
+
+	var readers []io.Reader
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+
+	rep, err := benchparse.Parse(io.MultiReader(readers...))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(rep.Benchmarks) == 0 && !*allowEmpty {
+		fatal("no benchmark lines in input")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("encoding: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command picasso-serve runs the Picasso coloring service: an HTTP API
+// over an asynchronous job queue backed by the pluggable conflict-build
+// backends.
+//
+//	picasso-serve -addr :8080 -serve-workers 4 -cache 512 -backend parallel
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/jobs              submit a job spec; 202 queued, 200 cache hit
+//	GET  /v1/jobs/{id}         status, live progress, result summary
+//	GET  /v1/jobs/{id}/groups  color classes / unitary groups (when done)
+//	GET  /v1/healthz           liveness
+//	GET  /v1/stats             lifetime counters
+//	GET  /v1/backends          registered conflict-build backends
+//	GET  /v1/instances         Table II instance names
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"random":"2000:0.5","seed":1}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/jobs/<id>/groups
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"picasso/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("serve-workers", 0, "coloring worker pool size (0 = all cores)")
+		queue    = flag.Int("queue", 256, "max queued jobs before submissions get 503")
+		cache    = flag.Int("cache", 512, "finished jobs retained in the LRU result cache")
+		maxVerts = flag.Int("max-vertices", 1<<20, "reject jobs larger than this many vertices")
+		backend  = flag.String("backend", "", "default conflict-build backend for specs that leave it empty")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		MaxVertices:    *maxVerts,
+		DefaultBackend: *backend,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("picasso-serve listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-stop:
+		log.Printf("received %s; draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		srv.Close() // waits for in-flight colorings
+		log.Printf("drained; bye")
+	}
+}

@@ -11,7 +11,10 @@
 //
 //	picasso -molecule "H6 3D sto3g" -mode aggressive -verify
 //	picasso -random 100000:0.5 -p 0.125 -alpha 2 -gpu 40e9
-//	picasso -strings paulis.txt -groups groups.txt
+//	picasso -strings paulis.txt -backend parallel -groups groups.txt
+//
+// The same job description is accepted by the picasso-serve HTTP service
+// (cmd/picasso-serve); both front ends share internal/jobspec.
 package main
 
 import (
@@ -19,13 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"picasso"
+	"picasso/internal/jobspec"
 	"picasso/internal/memtrack"
-	"picasso/internal/workload"
 )
 
 func main() {
@@ -48,51 +50,56 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := picasso.Normal(*seed)
-	switch *mode {
-	case "normal":
-	case "aggressive":
-		opts = picasso.Aggressive(*seed)
-	case "custom":
-		opts = picasso.Options{PaletteFrac: *pfrac, Alpha: *alpha, Seed: *seed}
-	default:
-		fatal("unknown -mode %q", *mode)
+	spec := jobspec.Spec{
+		Random:   *random,
+		Instance: *molecule,
+		Target:   *target,
+		Mode:     *mode,
+		PFrac:    *pfrac,
+		Alpha:    *alpha,
+		Strategy: *strategy,
+		Backend:  *backendF,
+		Seed:     *seed,
+		Workers:  *workers,
 	}
-	opts.Strategy = picasso.ListStrategy(*strategy)
-	opts.Workers = *workers
-	if *gpu > 0 {
-		opts.Device = picasso.NewDevice("sim", int64(*gpu), *workers)
+	if *mode != jobspec.ModeCustom {
+		spec.PFrac, spec.Alpha = 0, 0
 	}
-	opts.Backend = *backendF
-	var tr memtrack.Tracker
-	opts.Tracker = &tr
-
-	var (
-		oracle picasso.Oracle
-		set    *picasso.PauliSet
-	)
-	switch {
-	case *molecule != "":
-		set = buildMolecule(*molecule, *target)
-		tr.Alloc(set.Bytes())
-		fmt.Printf("instance %q: %d strings on %d qubits\n", *molecule, set.Len(), set.Qubits())
-	case *stringsF != "":
-		set = readStrings(*stringsF)
-		tr.Alloc(set.Bytes())
-		fmt.Printf("file %q: %d strings on %d qubits\n", *stringsF, set.Len(), set.Qubits())
-	case *random != "":
-		oracle = parseRandom(*random, uint64(*seed))
-		fmt.Printf("random graph: %d vertices\n", oracle.NumVertices())
-	default:
+	if *stringsF != "" {
+		spec.Strings = readStrings(*stringsF)
+	}
+	if spec.Random == "" && spec.Instance == "" && len(spec.Strings) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := spec.Normalize(); err != nil {
+		fatal("%v", err)
+	}
+
+	opts := spec.Options()
+	if *gpu > 0 {
+		opts.Device = picasso.NewDevice("sim", int64(*gpu), *workers)
+	}
+	var tr memtrack.Tracker
+	opts.Tracker = &tr
+
+	oracle, set, err := spec.BuildInput()
+	if err != nil {
+		fatal("building input: %v", err)
+	}
+	switch {
+	case spec.Instance != "":
+		tr.Alloc(set.Bytes())
+		fmt.Printf("instance %q: %d strings on %d qubits\n", spec.Instance, set.Len(), set.Qubits())
+	case len(spec.Strings) > 0:
+		tr.Alloc(set.Bytes())
+		fmt.Printf("file %q: %d strings on %d qubits\n", *stringsF, set.Len(), set.Qubits())
+	default:
+		fmt.Printf("random graph: %d vertices\n", oracle.NumVertices())
+	}
 
 	t0 := time.Now()
-	var (
-		res *picasso.Result
-		err error
-	)
+	var res *picasso.Result
 	if set != nil {
 		res, err = picasso.ColorPauli(set, opts)
 	} else {
@@ -143,58 +150,17 @@ func main() {
 	}
 }
 
-func buildMolecule(name string, target int) *picasso.PauliSet {
-	if target == 0 {
-		if inst, err := workload.ByName(name); err == nil {
-			target = inst.TargetTerms()
-		}
-	}
-	set, err := picasso.BuildMolecule(name, target)
-	if err != nil {
-		fatal("building %q: %v", name, err)
-	}
-	return set
-}
-
-func readStrings(path string) *picasso.PauliSet {
+func readStrings(path string) []string {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer f.Close()
-	var lines []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line != "" && !strings.HasPrefix(line, "#") {
-			// Accept "XYZI" or "XYZI 0.25" (coefficient ignored here).
-			lines = append(lines, strings.Fields(line)[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fatal("reading %s: %v", path, err)
-	}
-	set, err := picasso.ParsePauliStrings(lines)
+	lines, err := jobspec.ReadPauliLines(f)
 	if err != nil {
-		fatal("parsing %s: %v", path, err)
+		fatal("%s: %v", path, err)
 	}
-	return set
-}
-
-func parseRandom(spec string, seed uint64) picasso.Oracle {
-	parts := strings.SplitN(spec, ":", 2)
-	if len(parts) != 2 {
-		fatal("-random wants n:density, got %q", spec)
-	}
-	n, err := strconv.Atoi(parts[0])
-	if err != nil || n <= 0 {
-		fatal("bad vertex count in %q", spec)
-	}
-	d, err := strconv.ParseFloat(parts[1], 64)
-	if err != nil || d < 0 || d > 1 {
-		fatal("bad density in %q", spec)
-	}
-	return picasso.RandomGraph(n, d, seed)
+	return lines
 }
 
 func writeGroups(path string, set *picasso.PauliSet, c picasso.Coloring) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"picasso/internal/par"
 	"sort"
 	"testing"
 
@@ -354,7 +355,7 @@ func TestWeightedBoundsBalance(t *testing.T) {
 			for i := range weights {
 				weights[i] = int64(m - 1 - i)
 			}
-			bounds := weightedBounds(weights, d)
+			bounds := par.WeightedBounds(weights, d)
 			if len(bounds) != d+1 || bounds[0] != 0 || bounds[d] != m {
 				t.Fatalf("m=%d d=%d: bounds %v", m, d, bounds)
 			}
@@ -393,7 +394,7 @@ func TestBandPairs(t *testing.T) {
 	for i := range weights {
 		weights[i] = int64(m - 1 - i)
 	}
-	bounds := weightedBounds(weights, 4)
+	bounds := par.WeightedBounds(weights, 4)
 	var sum int64
 	for b := 0; b < 4; b++ {
 		sum += bandPairs(m, bounds[b], bounds[b+1])

@@ -7,6 +7,7 @@ import (
 	"picasso/internal/gpusim"
 	"picasso/internal/graph"
 	"picasso/internal/memtrack"
+	"picasso/internal/par"
 )
 
 func init() {
@@ -42,7 +43,7 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 	release := tr.Scoped(bk.Bytes())
 	defer release()
 
-	bounds := weightedBounds(bk.RowWeight, len(b.devs))
+	bounds := par.WeightedBounds(bk.RowWeight, len(b.devs))
 	results := make([]scanResult, len(b.devs))
 	errs := make([]error, len(b.devs))
 	var wg sync.WaitGroup
@@ -74,30 +75,6 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 		}
 	}
 	return finishCOO(merged, tr, st)
-}
-
-// weightedBounds returns d+1 row boundaries splitting [0, len(weights)) into
-// d contiguous bands of near-equal total weight (prefix-sum targets at
-// multiples of Σw/d). With the triangular weights of an all-pairs scan this
-// reduces to the historical pair-balanced band split.
-func weightedBounds(weights []int64, d int) []int {
-	n := len(weights)
-	var total int64
-	for _, w := range weights {
-		total += w
-	}
-	bounds := make([]int, d+1)
-	bounds[d] = n
-	row, acc := 0, int64(0)
-	for band := 1; band < d; band++ {
-		target := total * int64(band) / int64(d)
-		for row < n && acc < target {
-			acc += weights[row]
-			row++
-		}
-		bounds[band] = row
-	}
-	return bounds
 }
 
 // bandPairs counts the all-pairs upper bound owned by rows [lo, hi) of an

@@ -1,0 +1,125 @@
+// Package benchparse turns the text output of `go test -bench` into a
+// machine-readable report, so CI can publish per-commit benchmark JSON
+// artifacts and the performance trajectory of the conflict-build kernel is
+// diffable across history instead of buried in build logs.
+//
+// The input grammar is the standard benchmark format: header lines
+// (`goos:`, `goarch:`, `pkg:`, `cpu:`) followed by result lines of the
+// shape
+//
+//	BenchmarkName[/sub]-P   N   v1 unit1   v2 unit2 ...
+//
+// where N is the run count and each (value, unit) pair is one metric —
+// ns/op first, then allocation counters and any b.ReportMetric customs
+// (build-ms, pairs-tested, ...). Unknown lines are skipped, so raw `go
+// test` output can be piped in unfiltered.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark path with the -P GOMAXPROCS suffix
+	// stripped, e.g. "ConflictBuild/n=10000/alg=bucketed".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the pkg: header).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the -P suffix (GOMAXPROCS at run time), 1 if absent.
+	Procs int `json:"procs"`
+	// Runs is the benchmark's N.
+	Runs int64 `json:"runs"`
+	// NsPerOp is the headline ns/op metric, 0 if the line lacked one.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// Metrics carries every other (value, unit) pair keyed by unit:
+	// "B/op", "allocs/op", and b.ReportMetric customs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full parse of one `go test -bench` run.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads benchmark text from r. It is lenient about interleaved
+// non-benchmark output but strict about the lines it does claim: a
+// malformed Benchmark line is an error, not a skip, so CI can't silently
+// publish an empty artifact from garbled output.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: %w", err)
+	}
+	return rep, nil
+}
+
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("benchparse: short benchmark line %q", line)
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	// Strip the trailing -P GOMAXPROCS suffix off the last path element.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 && !strings.Contains(b.Name[i:], "/") {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchparse: bad run count in %q", line)
+	}
+	b.Runs = runs
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchparse: odd value/unit fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchparse: bad value %q in %q", rest[i], line)
+		}
+		unit := rest[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,91 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: picasso/internal/backend
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkConflictBuild/n=10000/alg=bucketed-8         	       2	 213456789 ns/op	   2510000 pairs	    1234 B/op	      42 allocs/op
+BenchmarkConflictBuild/n=10000/alg=allpairs-8         	       1	4435000000 ns/op
+PASS
+ok  	picasso/internal/backend	12.345s
+pkg: picasso
+BenchmarkColorThroughput-8   	      10	 105000000 ns/op
+BenchmarkConflictBuildBackends/parallel-8 	       2	 220000000 ns/op	       213 build-ms	 19.9 allpairs-reduction
+PASS
+ok  	picasso	8.000s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "ConflictBuild/n=10000/alg=bucketed" || b.Procs != 8 {
+		t.Fatalf("name/procs: %+v", b)
+	}
+	if b.Pkg != "picasso/internal/backend" || b.Runs != 2 || b.NsPerOp != 213456789 {
+		t.Fatalf("fields: %+v", b)
+	}
+	if b.Metrics["pairs"] != 2510000 || b.Metrics["B/op"] != 1234 || b.Metrics["allocs/op"] != 42 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+
+	if rep.Benchmarks[1].Metrics != nil {
+		t.Fatalf("ns/op-only line grew metrics: %+v", rep.Benchmarks[1])
+	}
+	if rep.Benchmarks[2].Pkg != "picasso" {
+		t.Fatalf("pkg tracking across sections: %+v", rep.Benchmarks[2])
+	}
+	custom := rep.Benchmarks[3]
+	if custom.Metrics["build-ms"] != 213 || custom.Metrics["allpairs-reduction"] != 19.9 {
+		t.Fatalf("custom metrics: %+v", custom.Metrics)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	bad := []string{
+		"BenchmarkX\n",                        // no run count
+		"BenchmarkX-4 two 100 ns/op\n",        // non-numeric runs
+		"BenchmarkX-4 2 100 ns/op dangling\n", // odd value/unit fields
+		"BenchmarkX-4 2 abc ns/op\n",          // non-numeric value
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("random log line\nPASS\nok picasso 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("phantom benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseNoProcsSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkPlain 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Plain" || b.Procs != 1 || b.Runs != 5 {
+		t.Fatalf("%+v", b)
+	}
+}

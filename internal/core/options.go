@@ -94,6 +94,13 @@ type Options struct {
 	// overrides Backend — the injection point for out-of-registry
 	// implementations (tests, instrumentation wrappers).
 	Builder backend.ConflictBuilder
+	// Progress, when non-nil, is invoked once per completed iteration of
+	// Algorithm 1 with that iteration's statistics, before the next
+	// iteration starts. It is called synchronously from the coloring
+	// goroutine, so long-running observers should hand the stats off and
+	// return quickly. Long-running callers (the coloring service) use it to
+	// report live iteration/edge counts instead of only the final summary.
+	Progress func(IterStats)
 
 	// multiDevices distributes conflict-graph construction across a device
 	// group (set via ColorMultiDevice; the paper's multi-GPU future work).

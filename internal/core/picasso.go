@@ -163,6 +163,9 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 		res.BuildTime += st.BuildTime
 		res.ColorTime += st.ColorTime
 		res.Iters = append(res.Iters, st)
+		if opts.Progress != nil {
+			opts.Progress(st)
+		}
 	}
 	opts.Tracker.Free(activeBytes)
 

@@ -1,0 +1,309 @@
+// Package jobspec is the shared description of one coloring job: which
+// input to color (a hashed random graph, a Table II molecule instance, or
+// raw Pauli strings) and which algorithm parameters to color it with. The
+// picasso CLI builds a Spec from flags, the coloring service decodes one
+// from a JSON request body, and both feed it through the same Normalize /
+// Options / BuildInput path — so a job means exactly the same thing whether
+// it arrives on argv or over HTTP, and the service can key its result cache
+// on the canonical form.
+package jobspec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"picasso"
+	"picasso/internal/chem"
+	"picasso/internal/workload"
+)
+
+// Input-mode names accepted in Spec.Mode.
+const (
+	ModeNormal     = "normal"
+	ModeAggressive = "aggressive"
+	ModeCustom     = "custom"
+)
+
+// Spec describes one coloring job. Exactly one of Random, Instance, Strings
+// selects the input; the remaining fields parameterize the run. The zero
+// value of every parameter field means "default".
+type Spec struct {
+	// Random is a hashed Erdős–Rényi dense graph as "n:density",
+	// e.g. "50000:0.5".
+	Random string `json:"random,omitempty"`
+	// Instance is a Table II instance name, matched case- and
+	// whitespace-insensitively (e.g. "H6 3D sto3g").
+	Instance string `json:"instance,omitempty"`
+	// Strings is an inline Pauli-string payload, one letter string per
+	// entry ("IXYZ", ...).
+	Strings []string `json:"strings,omitempty"`
+	// Target grows molecule instances toward this term count
+	// (0 = the instance's Table II target).
+	Target int `json:"target,omitempty"`
+	// Mode is normal | aggressive | custom ("" = normal).
+	Mode string `json:"mode,omitempty"`
+	// PFrac and Alpha are the custom-mode operating point; ignored (and
+	// cleared by Normalize) in the named modes.
+	PFrac float64 `json:"p,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	// Strategy picks the conflict coloring: dynamic | natural | largest |
+	// random ("" = dynamic).
+	Strategy string `json:"strategy,omitempty"`
+	// Backend names the conflict-construction backend ("" = auto).
+	Backend string `json:"backend,omitempty"`
+	// Seed drives all randomness. Always serialized: two specs differing
+	// only in seed are different jobs.
+	Seed int64 `json:"seed"`
+	// Workers bounds conflict-build parallelism (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize validates the spec and rewrites it into canonical form in
+// place: instance names are resolved to their Table II spelling, defaulted
+// fields are cleared or filled, and parameters irrelevant to the selected
+// mode are zeroed. After Normalize, two specs describe the same job iff
+// their Canonical strings are equal.
+func (s *Spec) Normalize() error {
+	sources := 0
+	if s.Random != "" {
+		sources++
+	}
+	if s.Instance != "" {
+		sources++
+	}
+	if len(s.Strings) > 0 {
+		sources++
+	}
+	if sources == 0 {
+		return fmt.Errorf("jobspec: no input: set one of random, instance, strings")
+	}
+	if sources > 1 {
+		return fmt.Errorf("jobspec: ambiguous input: set exactly one of random, instance, strings")
+	}
+
+	if s.Random != "" {
+		n, d, err := ParseRandom(s.Random)
+		if err != nil {
+			return err
+		}
+		// Canonical "n:density" spelling: trimmed integer, shortest float.
+		s.Random = fmt.Sprintf("%d:%s", n, strconv.FormatFloat(d, 'g', -1, 64))
+		if s.Target != 0 {
+			return fmt.Errorf("jobspec: target applies only to molecule instances")
+		}
+	}
+	if s.Instance != "" {
+		inst, lookupErr := workload.Lookup(s.Instance)
+		if lookupErr == nil {
+			s.Instance = inst.Name
+		} else if _, parseErr := chem.ParseMolecule(s.Instance); parseErr == nil {
+			// Not a Table II row but a well-formed hydrogen system ("H2 1D
+			// sto3g"): accept it, normalized only in spacing — the chem
+			// substrate can build any Hn instance.
+			s.Instance = strings.Join(strings.Fields(s.Instance), " ")
+		} else {
+			// Neither: surface the Table II "did you mean" message.
+			return lookupErr
+		}
+	}
+	if s.Target < 0 {
+		return fmt.Errorf("jobspec: negative target %d", s.Target)
+	}
+	if len(s.Strings) > 0 {
+		if s.Target != 0 {
+			return fmt.Errorf("jobspec: target applies only to molecule instances")
+		}
+		for i, str := range s.Strings {
+			t := strings.TrimSpace(str)
+			if t == "" {
+				return fmt.Errorf("jobspec: string %d is empty", i)
+			}
+			s.Strings[i] = t
+		}
+	}
+
+	if s.Mode == "" {
+		s.Mode = ModeNormal
+	}
+	switch s.Mode {
+	case ModeNormal, ModeAggressive:
+		s.PFrac, s.Alpha = 0, 0
+	case ModeCustom:
+		if s.PFrac <= 0 || s.PFrac > 1 {
+			return fmt.Errorf("jobspec: custom mode needs palette fraction p in (0, 1], got %v", s.PFrac)
+		}
+		if s.Alpha <= 0 {
+			return fmt.Errorf("jobspec: custom mode needs positive alpha, got %v", s.Alpha)
+		}
+	default:
+		return fmt.Errorf("jobspec: unknown mode %q (want normal | aggressive | custom)", s.Mode)
+	}
+
+	switch s.Strategy {
+	case "", string(picasso.DynamicBuckets):
+		s.Strategy = ""
+	case string(picasso.StaticNatural), string(picasso.StaticLargest), string(picasso.StaticRandom):
+	default:
+		return fmt.Errorf("jobspec: unknown strategy %q (want dynamic | natural | largest | random)", s.Strategy)
+	}
+
+	switch s.Backend {
+	case "", "auto":
+		s.Backend = ""
+	default:
+		known := picasso.Backends()
+		found := false
+		for _, b := range known {
+			if s.Backend == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("jobspec: unknown backend %q (want %s)", s.Backend, strings.Join(known, " | "))
+		}
+	}
+
+	if s.Workers < 0 {
+		return fmt.Errorf("jobspec: negative workers %d", s.Workers)
+	}
+	return nil
+}
+
+// Canonical returns the canonical serialized form of a normalized spec —
+// the cache key and job-id basis. Struct-order JSON marshaling makes it
+// deterministic.
+func (s Spec) Canonical() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec holds only strings and numbers; Marshal cannot fail.
+		panic(fmt.Sprintf("jobspec: canonicalizing: %v", err))
+	}
+	return string(b)
+}
+
+// Options translates a normalized spec into run options. Device and
+// Tracker wiring stays with the caller.
+func (s Spec) Options() picasso.Options {
+	var opts picasso.Options
+	switch s.Mode {
+	case ModeAggressive:
+		opts = picasso.Aggressive(s.Seed)
+	case ModeCustom:
+		opts = picasso.Options{PaletteFrac: s.PFrac, Alpha: s.Alpha, Seed: s.Seed, Strategy: picasso.DynamicBuckets}
+	default:
+		opts = picasso.Normal(s.Seed)
+	}
+	if s.Strategy != "" {
+		opts.Strategy = picasso.ListStrategy(s.Strategy)
+	}
+	opts.Backend = s.Backend
+	opts.Workers = s.Workers
+	return opts
+}
+
+// NumVertices reports the job's input size: the vertex count for random
+// graphs, the string count for inline payloads, and the growth target (an
+// upper bound on the built size) for molecule instances. Admission control
+// in the service sizes its limits against this.
+func (s Spec) NumVertices() int {
+	switch {
+	case s.Random != "":
+		n, _, err := ParseRandom(s.Random)
+		if err != nil {
+			return 0
+		}
+		return n
+	case len(s.Strings) > 0:
+		return len(s.Strings)
+	case s.Instance != "":
+		if s.Target > 0 {
+			return s.Target
+		}
+		if inst, err := workload.Lookup(s.Instance); err == nil {
+			return inst.TargetTerms()
+		}
+		// Non-Table-II molecule with no target: the bare Hamiltonian size
+		// is unknown before the build.
+		return 0
+	}
+	return 0
+}
+
+// BuildInput materializes the job's input: an edge oracle for random
+// graphs, a Pauli set (plus its commutation oracle, built by the caller)
+// otherwise. Exactly one return is non-nil on success.
+func (s Spec) BuildInput() (picasso.Oracle, *picasso.PauliSet, error) {
+	switch {
+	case s.Random != "":
+		n, d, err := ParseRandom(s.Random)
+		if err != nil {
+			return nil, nil, err
+		}
+		return picasso.RandomGraph(n, d, uint64(s.Seed)), nil, nil
+	case s.Instance != "":
+		target := s.Target
+		if target == 0 {
+			if inst, err := workload.Lookup(s.Instance); err == nil {
+				target = inst.TargetTerms()
+			}
+		}
+		set, err := picasso.BuildMolecule(s.Instance, target)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, set, nil
+	case len(s.Strings) > 0:
+		set, err := picasso.ParsePauliStrings(s.Strings)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, set, nil
+	}
+	return nil, nil, fmt.Errorf("jobspec: no input source")
+}
+
+// ParseRandom parses an "n:density" random-graph spec.
+func ParseRandom(spec string) (int, float64, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("jobspec: random spec wants n:density, got %q", spec)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("jobspec: bad vertex count in %q", spec)
+	}
+	d, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || d < 0 || d > 1 {
+		return 0, 0, fmt.Errorf("jobspec: bad density in %q (want [0, 1])", spec)
+	}
+	return n, d, nil
+}
+
+// ReadPauliLines reads one Pauli string per line, tolerating CRLF line
+// endings, surrounding whitespace, blank lines, and '#' comments; a
+// trailing coefficient field ("XYZI 0.25") is accepted and ignored. An
+// input with no strings at all is an error — every caller treats an empty
+// workload as a mistake, not a no-op.
+func ReadPauliLines(r io.Reader) ([]string, error) {
+	var lines []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, strings.Fields(line)[0])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jobspec: reading strings: %w", err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("jobspec: no Pauli strings in input")
+	}
+	return lines, nil
+}

@@ -116,27 +116,46 @@ func ForWeightedChunks(workers int, weights []int64, f func(lo, hi, worker int))
 		f(0, n, 0)
 		return
 	}
+	bounds := WeightedBounds(weights, workers)
 	var wg sync.WaitGroup
-	lo, acc, worker := 0, int64(0), 0
-	for chunk := 1; chunk <= workers && lo < n; chunk++ {
-		target := total * int64(chunk) / int64(workers)
-		hi := lo
-		for hi < n && (acc < target || hi == lo) {
-			acc += weights[hi]
-			hi++
-		}
-		if chunk == workers {
-			hi = n
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi, w int) {
 			defer wg.Done()
 			f(lo, hi, w)
-		}(lo, hi, worker)
-		worker++
-		lo = hi
+		}(lo, hi, w)
 	}
 	wg.Wait()
+}
+
+// WeightedBounds returns parts+1 boundaries splitting [0, len(weights))
+// into parts contiguous bands of near-equal total weight: band boundaries
+// sit at the prefix-sum targets k·Σweights/parts. Bands may be empty when a
+// single heavy row overshoots several targets. This is the shared splitter
+// under ForWeightedChunks and the multi-device row-band partitioner, so the
+// two device classes cannot drift in load-balancing behavior.
+func WeightedBounds(weights []int64, parts int) []int {
+	n := len(weights)
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	bounds := make([]int, parts+1)
+	bounds[parts] = n
+	row, acc := 0, int64(0)
+	for band := 1; band < parts; band++ {
+		target := total * int64(band) / int64(parts)
+		for row < n && acc < target {
+			acc += weights[row]
+			row++
+		}
+		bounds[band] = row
+	}
+	return bounds
 }
 
 // SumInt64 reduces per-index contributions in parallel.

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"picasso"
+	"picasso/internal/jobspec"
+	"picasso/internal/workload"
+)
+
+// maxBodyBytes bounds a submission body. Inline string payloads dominate:
+// 16 MiB holds ~half a million 30-qubit strings, far past the admission
+// limit on job size.
+const maxBodyBytes = 16 << 20
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/groups", s.handleGroups)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
+}
+
+// handleSubmit accepts a jobspec.Spec body: 202 for newly queued work, 200
+// when the spec deduplicated onto an existing job, 503 when the queue is
+// full or the server is draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobspec.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := servableBackend(spec.Backend); err != nil {
+		// The name is in the registry (Normalize checked), but this service
+		// wires no simulated devices into jobs: reject at submission rather
+		// than queue work that is doomed to fail.
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("backend %q cannot run in this service: %v", spec.Backend, err))
+		return
+	}
+	if n := spec.NumVertices(); n > s.cfg.MaxVertices {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("job size %d exceeds the server limit of %d vertices", n, s.cfg.MaxVertices))
+		return
+	}
+
+	job, hit, err := s.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	resp := SubmitResponse{ID: job.ID, State: job.State, CacheHit: hit, Hits: job.Hits}
+	s.mu.Unlock()
+	status := http.StatusAccepted
+	if hit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleGroups serves a finished job's color classes. A job that exists
+// but has not finished answers 409 so pollers can distinguish "not yet"
+// from "never heard of it".
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	state, errMsg, groups := job.State, job.Err, job.Groups
+	s.touch(job)
+	s.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, GroupsResponse{ID: id, NumGroups: len(groups), Groups: groups})
+	case StateFailed:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job failed: %s", errMsg))
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll /v1/jobs/%s until done", state, id))
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleBackends advertises only the backends this service can actually
+// run — the registry minus device-backed entries, which have no simulated
+// device here.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, b := range picasso.Backends() {
+		if servableBackend(b) == nil {
+			names = append(names, b)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"backends": names})
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"instances": workload.SortedNames()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding a fully materialized value cannot fail halfway in a way we
+	// could still report: the status line is already out.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

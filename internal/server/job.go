@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"time"
+
+	"picasso/internal/jobspec"
+)
+
+// Job is one coloring job tracked by the server. All fields are guarded by
+// the server mutex; Groups is written exactly once at completion and never
+// mutated, so a pointer read under the lock may be encoded outside it.
+type Job struct {
+	ID          string
+	Spec        jobspec.Spec
+	Canonical   string
+	State       string
+	Hits        int64
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	Progress    ProgressInfo
+	Result      *ResultSummary
+	Groups      [][]int
+	Err         string
+
+	lru *list.Element // position in the completed-job LRU, nil until retained
+}
+
+// JobID derives the deterministic job id from a canonical spec: the same
+// job spec always maps to the same id, on every server, which is what makes
+// resubmission idempotent and the result cache addressable.
+func JobID(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// retain inserts a finished job at the front of the completed-job LRU and
+// evicts from the back past the cache size. Only finished jobs live in the
+// LRU, so eviction can never drop queued or running work. Callers hold mu.
+func (s *Server) retain(j *Job) {
+	if j.lru != nil {
+		s.done.MoveToFront(j.lru)
+		return
+	}
+	j.lru = s.done.PushFront(j)
+	for s.done.Len() > s.cfg.CacheSize {
+		back := s.done.Back()
+		old := back.Value.(*Job)
+		s.done.Remove(back)
+		delete(s.jobs, old.ID)
+		s.stats.evicted++
+	}
+}
+
+// touch refreshes a job's LRU position on access. Callers hold mu.
+func (s *Server) touch(j *Job) {
+	if j.lru != nil {
+		s.done.MoveToFront(j.lru)
+	}
+}
+
+// statusLocked builds the wire status of a job. Callers hold mu.
+func (s *Server) statusLocked(j *Job) StatusResponse {
+	st := StatusResponse{
+		ID:          j.ID,
+		State:       j.State,
+		Spec:        j.Spec,
+		Hits:        j.Hits,
+		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
+		Error:       j.Err,
+	}
+	if !j.StartedAt.IsZero() {
+		st.StartedAt = j.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.FinishedAt.IsZero() {
+		st.FinishedAt = j.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if j.State == StateRunning && j.Progress.Iterations > 0 {
+		p := j.Progress
+		st.Progress = &p
+	}
+	if j.Result != nil {
+		r := *j.Result
+		st.Result = &r
+	}
+	return st
+}

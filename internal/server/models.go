@@ -1,0 +1,88 @@
+package server
+
+import "picasso/internal/jobspec"
+
+// Job lifecycle states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// SubmitResponse answers POST /v1/jobs. CacheHit reports that the canonical
+// spec matched an existing job (queued, running, or completed) and no new
+// work was enqueued; Hits counts how many times this spec has been
+// submitted in total, so clients — and the acceptance tests — can observe
+// the dedup working.
+type SubmitResponse struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Hits     int64  `json:"hits"`
+}
+
+// ProgressInfo is the live view of a running job, fed by the per-iteration
+// progress callback: how many Algorithm 1 iterations have completed, how
+// many vertices are still uncolored, and the cumulative conflict work.
+type ProgressInfo struct {
+	Iterations        int   `json:"iterations"`
+	RemainingVertices int   `json:"remaining_vertices"`
+	ConflictEdges     int64 `json:"conflict_edges"`
+	PairsTested       int64 `json:"pairs_tested"`
+}
+
+// ResultSummary is the completed-run digest embedded in a status response;
+// the group membership itself lives behind /v1/jobs/{id}/groups.
+type ResultSummary struct {
+	Vertices           int     `json:"vertices"`
+	NumColors          int     `json:"num_colors"`
+	NumGroups          int     `json:"num_groups"`
+	Iterations         int     `json:"iterations"`
+	MaxConflictEdges   int64   `json:"max_conflict_edges"`
+	TotalConflictEdges int64   `json:"total_conflict_edges"`
+	PairsTested        int64   `json:"pairs_tested"`
+	Fallback           bool    `json:"fallback,omitempty"`
+	ElapsedMS          float64 `json:"elapsed_ms"`
+}
+
+// StatusResponse answers GET /v1/jobs/{id}.
+type StatusResponse struct {
+	ID          string         `json:"id"`
+	State       string         `json:"state"`
+	Spec        jobspec.Spec   `json:"spec"`
+	Hits        int64          `json:"hits"`
+	SubmittedAt string         `json:"submitted_at"`
+	StartedAt   string         `json:"started_at,omitempty"`
+	FinishedAt  string         `json:"finished_at,omitempty"`
+	Progress    *ProgressInfo  `json:"progress,omitempty"`
+	Result      *ResultSummary `json:"result,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// GroupsResponse answers GET /v1/jobs/{id}/groups: the color classes in
+// ascending color order — for Pauli inputs, the unitary groups.
+type GroupsResponse struct {
+	ID        string  `json:"id"`
+	NumGroups int     `json:"num_groups"`
+	Groups    [][]int `json:"groups"`
+}
+
+// StatsResponse answers GET /v1/stats with the server's lifetime counters.
+type StatsResponse struct {
+	Submitted int64 `json:"submitted"`
+	CacheHits int64 `json:"cache_hits"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Evicted   int64 `json:"evicted"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Retained  int   `json:"retained"`
+	Workers   int   `json:"workers"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"picasso"
+)
+
+// worker is one member of the bounded coloring pool: it drains the job
+// queue until Close closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+// run executes one job end to end, with panic isolation — a panicking
+// coloring run fails that job, not the worker.
+func (s *Server) run(job *Job) {
+	s.mu.Lock()
+	job.State = StateRunning
+	job.StartedAt = time.Now()
+	s.running++
+	s.mu.Unlock()
+
+	t0 := time.Now()
+	summary, groups, err := func() (sum *ResultSummary, groups [][]int, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("panic: %v", rec)
+			}
+		}()
+		return s.color(job)
+	}()
+	elapsed := time.Since(t0)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	job.FinishedAt = time.Now()
+	if err != nil {
+		job.State = StateFailed
+		job.Err = err.Error()
+		s.stats.failed++
+	} else {
+		summary.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		job.State = StateDone
+		job.Result = summary
+		job.Groups = groups
+		s.stats.completed++
+	}
+	s.retain(job)
+}
+
+// color materializes the job's input and runs the coloring, streaming
+// per-iteration statistics into the job's progress view.
+func (s *Server) color(job *Job) (*ResultSummary, [][]int, error) {
+	opts := job.Spec.Options()
+	if opts.Backend == "" {
+		opts.Backend = s.cfg.DefaultBackend
+	}
+	opts.Progress = func(st picasso.IterStats) {
+		s.mu.Lock()
+		job.Progress.Iterations = st.Iteration
+		job.Progress.RemainingVertices = st.Failed
+		job.Progress.ConflictEdges += st.ConflictEdges
+		job.Progress.PairsTested += st.PairsTested
+		s.mu.Unlock()
+	}
+
+	oracle, set, err := job.Spec.BuildInput()
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *picasso.Result
+	if set != nil {
+		res, err = picasso.ColorPauli(set, opts)
+	} else {
+		res, err = picasso.Color(oracle, opts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := picasso.ColorGroups(res.Colors)
+	return &ResultSummary{
+		Vertices:           len(res.Colors),
+		NumColors:          res.NumColors,
+		NumGroups:          len(groups),
+		Iterations:         len(res.Iters),
+		MaxConflictEdges:   res.MaxConflictEdges,
+		TotalConflictEdges: res.TotalConflictEdges,
+		PairsTested:        res.TotalPairsTested,
+		Fallback:           res.Fallback,
+	}, groups, nil
+}

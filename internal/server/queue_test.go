@@ -1,0 +1,233 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"picasso/internal/jobspec"
+)
+
+// submitSpec normalizes and submits directly against the store, bypassing
+// HTTP — the queue-semantics tests want to hammer Submit itself.
+func submitSpec(t testing.TB, s *Server, spec jobspec.Spec) (*Job, bool) {
+	t.Helper()
+	if err := spec.Normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	job, hit, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	return job, hit
+}
+
+func waitAllDone(t *testing.T, s *Server, ids []string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, id := range ids {
+			st, ok := s.Status(id)
+			if !ok {
+				t.Fatalf("job %s vanished", id)
+			}
+			if st.State == StateDone {
+				done++
+			} else if st.State == StateFailed {
+				t.Fatalf("job %s failed: %s", id, st.Error)
+			}
+		}
+		if done == len(ids) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("jobs did not finish in time")
+}
+
+// TestConcurrentSubmissions is the acceptance gate: 64 goroutines submit
+// distinct small jobs at once; none may be lost, all must complete, and
+// the counters must balance. Run with -race.
+func TestConcurrentSubmissions(t *testing.T) {
+	s, err := New(Config{Workers: 4, QueueDepth: 128, CacheSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 64
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			spec := jobspec.Spec{Random: "120:0.5", Seed: int64(i)}
+			job, hit := submitSpec(t, s, spec)
+			if hit {
+				t.Errorf("distinct spec %d reported as cache hit", i)
+			}
+			ids[i] = job.ID
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool, n)
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("submission %d lost", i)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %s for distinct specs", id)
+		}
+		seen[id] = true
+	}
+	waitAllDone(t, s, ids)
+
+	stats := s.Stats()
+	if stats.Submitted != n || stats.Completed != n || stats.Failed != 0 || stats.Rejected != 0 {
+		t.Fatalf("counters do not balance: %+v", stats)
+	}
+}
+
+// TestConcurrentDuplicateSubmissions hammers one canonical spec from many
+// goroutines: exactly one job may exist, and every other submission must
+// count as a cache hit — the dedup invariant under contention.
+func TestConcurrentDuplicateSubmissions(t *testing.T) {
+	s, err := New(Config{Workers: 2, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 32
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			job, _ := submitSpec(t, s, jobspec.Spec{Random: "150:0.5", Seed: 7})
+			ids[i] = job.ID
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("identical specs produced different jobs: %s vs %s", ids[0], ids[i])
+		}
+	}
+	waitAllDone(t, s, ids[:1])
+
+	st, _ := s.Status(ids[0])
+	if st.Hits != n {
+		t.Fatalf("hits = %d, want %d", st.Hits, n)
+	}
+	stats := s.Stats()
+	if stats.Submitted != n || stats.CacheHits != n-1 || stats.Completed != 1 {
+		t.Fatalf("counters: %+v", stats)
+	}
+}
+
+// TestQueueFull saturates a 1-worker, 1-deep queue with rapid submissions:
+// overflow must surface as ErrQueueFull, never as a lost or phantom job,
+// and the accepted/rejected counters must balance exactly.
+func TestQueueFull(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	accepted, rejected := 0, 0
+	var ids []string
+	for i := 0; i < 50; i++ {
+		spec := jobspec.Spec{Random: "400:0.5", Seed: int64(i)}
+		if err := spec.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		job, hit, err := s.Submit(spec)
+		switch {
+		case err == nil && !hit:
+			accepted++
+			ids = append(ids, job.ID)
+		case err == ErrQueueFull:
+			rejected++
+		default:
+			t.Fatalf("submission %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	waitAllDone(t, s, ids)
+	stats := s.Stats()
+	if int(stats.Rejected) != rejected || int(stats.Completed) != accepted {
+		t.Fatalf("counters: accepted=%d rejected=%d stats=%+v", accepted, rejected, stats)
+	}
+}
+
+// TestSubmitAfterClose: a draining server refuses new work instead of
+// panicking on the closed queue channel.
+func TestSubmitAfterClose(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	spec := jobspec.Spec{Random: "100:0.5"}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Submit(spec); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestCloseDrainsQueuedJobs: Close waits for queued-but-unstarted work —
+// the graceful-shutdown contract.
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job, _ := submitSpec(t, s, jobspec.Spec{Random: "300:0.5", Seed: int64(100 + i)})
+		ids = append(ids, job.ID)
+	}
+	s.Close()
+	for _, id := range ids {
+		st, ok := s.Status(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("job %s not drained: %+v", id, st)
+		}
+	}
+}
+
+// TestProgressStreaming: the per-iteration callback must surface live
+// counters while the job runs and leave consistent totals afterwards.
+func TestProgressStreaming(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	job, _ := submitSpec(t, s, jobspec.Spec{Random: "800:0.5", Seed: 5})
+	waitAllDone(t, s, []string{job.ID})
+
+	s.mu.Lock()
+	prog, result := job.Progress, job.Result
+	s.mu.Unlock()
+	if prog.Iterations != result.Iterations {
+		t.Fatalf("progress saw %d iterations, result has %d", prog.Iterations, result.Iterations)
+	}
+	if prog.ConflictEdges != result.TotalConflictEdges || prog.PairsTested != result.PairsTested {
+		t.Fatalf("progress totals diverge: %+v vs %+v", prog, result)
+	}
+	if prog.RemainingVertices != 0 {
+		t.Fatalf("finished job reports %d remaining vertices", prog.RemainingVertices)
+	}
+}

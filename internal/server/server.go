@@ -1,0 +1,217 @@
+// Package server is the Picasso coloring service: an asynchronous job
+// queue with an HTTP API over the coloring core and its pluggable
+// conflict-construction backends. Clients POST a jobspec.Spec to /v1/jobs,
+// a bounded worker pool colors each job through picasso.Color /
+// picasso.ColorPauli, and clients poll /v1/jobs/{id} for live progress and
+// fetch /v1/jobs/{id}/groups for the resulting color classes (the unitary
+// groups, for Pauli inputs).
+//
+// Job ids are deterministic — the hash of the canonical spec — so
+// resubmitting an identical job is idempotent: it joins the queued or
+// running job, or is answered straight from the completed-job LRU without
+// recoloring. That dedup is the hot path for a service fronting many
+// clients that ask for the same grouping.
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"picasso/internal/backend"
+	"picasso/internal/jobspec"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the coloring worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; past it,
+	// submissions are rejected with 503 (0 = 256).
+	QueueDepth int
+	// CacheSize is the number of finished jobs retained in the LRU
+	// (0 = 512).
+	CacheSize int
+	// MaxVertices rejects jobs larger than this at admission (0 = 1<<20).
+	MaxVertices int
+	// DefaultBackend is the conflict-construction backend used when a spec
+	// leaves its backend empty ("" keeps the registry's auto selection).
+	DefaultBackend string
+}
+
+func (c *Config) fill() error {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 512
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 1 << 20
+	}
+	if c.DefaultBackend != "" && c.DefaultBackend != "auto" {
+		// Probe the registry with the service's (device-less) resources:
+		// this rejects unknown names AND backends the service cannot run,
+		// such as "gpu" without a simulated device — at startup, not on the
+		// first job.
+		if _, err := backend.New(c.DefaultBackend, backend.Config{}); err != nil {
+			return fmt.Errorf("server: default backend: %w", err)
+		}
+	}
+	return nil
+}
+
+// servableBackend reports whether the service can actually run the named
+// backend with the resources it wires into jobs (no simulated devices):
+// the same registry probe job admission and /v1/backends use, so a client
+// is never promised a backend whose jobs are doomed to fail at run time.
+func servableBackend(name string) error {
+	if name == "" || name == "auto" {
+		return nil
+	}
+	_, err := backend.New(name, backend.Config{})
+	return err
+}
+
+// Submission failure modes, surfaced to handlers as 503s.
+var (
+	ErrQueueFull = errors.New("server: job queue full")
+	ErrClosed    = errors.New("server: shutting down")
+)
+
+// Server is the coloring service. It implements http.Handler; Close drains
+// the worker pool.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]*Job
+	done    *list.List // finished jobs, most recently used at the front
+	running int
+	stats   struct {
+		submitted, cacheHits, completed, failed, rejected, evicted int64
+	}
+}
+
+// New builds a server and starts its worker pool. Callers must Close it.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+		done:  list.New(),
+	}
+	s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP dispatches to the v1 routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops accepting jobs and waits for in-flight work to finish.
+// Queued-but-unstarted jobs are still run — a closed queue channel drains.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit registers a job for an already-normalized spec and enqueues it if
+// it is new. The bool reports a cache hit: the spec matched an existing
+// queued, running, or finished job, and no new work was created.
+func (s *Server) Submit(spec jobspec.Spec) (*Job, bool, error) {
+	canonical := spec.Canonical()
+	id := JobID(canonical)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.submitted++
+	if j, ok := s.jobs[id]; ok {
+		j.Hits++
+		s.stats.cacheHits++
+		s.touch(j)
+		return j, true, nil
+	}
+	if s.closed {
+		s.stats.rejected++
+		return nil, false, ErrClosed
+	}
+	j := &Job{
+		ID:          id,
+		Spec:        spec,
+		Canonical:   canonical,
+		State:       StateQueued,
+		Hits:        1,
+		SubmittedAt: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		return j, false, nil
+	default:
+		s.stats.rejected++
+		return nil, false, ErrQueueFull
+	}
+}
+
+// Status returns the wire status of a job.
+func (s *Server) Status(id string) (StatusResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return StatusResponse{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Stats snapshots the lifetime counters.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := 0
+	for _, j := range s.jobs {
+		if j.State == StateQueued {
+			queued++
+		}
+	}
+	return StatsResponse{
+		Submitted: s.stats.submitted,
+		CacheHits: s.stats.cacheHits,
+		Completed: s.stats.completed,
+		Failed:    s.stats.failed,
+		Rejected:  s.stats.rejected,
+		Evicted:   s.stats.evicted,
+		Queued:    queued,
+		Running:   s.running,
+		Retained:  s.done.Len(),
+		Workers:   s.cfg.Workers,
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// canonicalName lowercases an instance name and collapses every run of
+// whitespace to a single space, so "h6  3d STO3G" and "H6 3D sto3g" key
+// identically.
+func canonicalName(name string) string {
+	return strings.ToLower(strings.Join(strings.Fields(name), " "))
+}
+
+// Lookup finds a Table II instance by name, ignoring case and interior
+// whitespace. Unknown names yield an error that names the closest known
+// instance ("did you mean ...?") so CLI and API callers get an actionable
+// message instead of a bare miss.
+func Lookup(name string) (Instance, error) {
+	want := canonicalName(name)
+	if want == "" {
+		return Instance{}, fmt.Errorf("workload: empty instance name")
+	}
+	best, bestDist := "", -1
+	for _, inst := range TableII() {
+		have := canonicalName(inst.Name)
+		if have == want {
+			return inst, nil
+		}
+		if d := editDistance(want, have); bestDist < 0 || d < bestDist {
+			best, bestDist = inst.Name, d
+		}
+	}
+	return Instance{}, fmt.Errorf("workload: unknown instance %q (did you mean %q?)", name, best)
+}
+
+// editDistance is the Levenshtein distance between two short strings,
+// computed with a rolling single-row table — the candidate set is eighteen
+// names of ~12 runes, so quadratic time is irrelevant.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min(prev[j]+1, min(curr[j-1]+1, prev[j-1]+cost))
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupExact(t *testing.T) {
+	inst, err := Lookup("H6 3D sto3g")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if inst.Name != "H6 3D sto3g" || inst.PaperTerms != 8721 {
+		t.Fatalf("wrong instance: %+v", inst)
+	}
+}
+
+func TestLookupInsensitive(t *testing.T) {
+	for _, name := range []string{"h6 3d sto3g", "H6  3D   sto3g", "  h6 3D STO3G ", "H6\t3D\tsto3g"} {
+		inst, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if inst.Name != "H6 3D sto3g" {
+			t.Fatalf("Lookup(%q) = %q", name, inst.Name)
+		}
+	}
+}
+
+func TestLookupDidYouMean(t *testing.T) {
+	_, err := Lookup("H6 3D sto3h")
+	if err == nil {
+		t.Fatal("want error for unknown instance")
+	}
+	if !strings.Contains(err.Error(), `did you mean "H6 3D sto3g"`) {
+		t.Fatalf("error lacks suggestion: %v", err)
+	}
+	if _, err := Lookup("   "); err == nil {
+		t.Fatal("want error for blank name")
+	}
+}
+
+func TestLookupAllTableII(t *testing.T) {
+	for _, inst := range TableII() {
+		got, err := Lookup(strings.ToUpper(inst.Name))
+		if err != nil || got.Name != inst.Name {
+			t.Fatalf("Lookup(%q) = %+v, %v", inst.Name, got, err)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"h6 3d sto3g", "h6 2d sto3g", 1},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -121,6 +121,21 @@ func ColorPauli(set *PauliSet, opts Options) (*Result, error) {
 	return core.Color(core.NewPauliOracle(set), opts)
 }
 
+// ColorStrings parses raw Pauli letter strings and colors their commutation
+// graph in one call — the submit-and-collect entry point the coloring
+// service uses for inline string payloads.
+func ColorStrings(strs []string, opts Options) (*PauliSet, *Result, error) {
+	set, err := ParsePauliStrings(strs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ColorPauli(set, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, res, nil
+}
+
 // ParsePauliStrings builds a set from letter strings such as "IXYZ". All
 // strings must share one length.
 func ParsePauliStrings(strs []string) (*PauliSet, error) {
@@ -164,6 +179,16 @@ func BuildMolecule(name string, targetTerms int) (*PauliSet, error) {
 // arbitrarily sparse (iteration palettes leave gaps), so the class map is
 // walked by its sorted keys, not probed color-by-color.
 func Groups(set *PauliSet, c Coloring) [][]int {
+	return ColorGroups(c)
+}
+
+// ColorGroups converts any coloring into its color classes: slices of
+// vertex indices, one per color in ascending color order. For Pauli inputs
+// these are the unitary groups (see Groups); for plain oracles they are the
+// independent sets of the colored graph. Color ids may be arbitrarily
+// sparse (iteration palettes leave gaps), so the class map is walked by its
+// sorted keys, not probed color-by-color.
+func ColorGroups(c Coloring) [][]int {
 	classes := graph.ColorClasses(c)
 	cols := make([]int32, 0, len(classes))
 	for col := range classes {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the coloring service: build picasso-serve,
+# start it, submit a small random-graph job, poll to completion, and assert
+# a 200 + non-empty groups response. CI runs this as the service gate; it
+# also works locally: ./scripts/smoke_serve.sh
+set -euo pipefail
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR/v1"
+
+cd "$(dirname "$0")/.."
+go build -o /tmp/picasso-serve ./cmd/picasso-serve
+
+/tmp/picasso-serve -addr "$ADDR" -serve-workers 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "FAIL: server never became healthy" >&2; exit 1; fi
+  sleep 0.2
+done
+
+# Submit a small random-graph job.
+submit=$(curl -sf -X POST "$BASE/jobs" -d '{"random":"500:0.5","seed":1}')
+echo "submit: $submit"
+id=$(echo "$submit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$id" ]; then echo "FAIL: no job id in submit response" >&2; exit 1; fi
+
+# Poll until done.
+for i in $(seq 1 100); do
+  state=$(curl -sf "$BASE/jobs/$id" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed) echo "FAIL: job failed"; curl -s "$BASE/jobs/$id" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 100 ]; then echo "FAIL: job never finished (state=$state)" >&2; exit 1; fi
+  sleep 0.2
+done
+
+# Groups must answer 200 with a non-empty partition.
+code=$(curl -s -o /tmp/groups.json -w '%{http_code}' "$BASE/jobs/$id/groups")
+if [ "$code" != 200 ]; then echo "FAIL: groups returned HTTP $code" >&2; exit 1; fi
+ngroups=$(sed -n 's/.*"num_groups":\([0-9]*\).*/\1/p' /tmp/groups.json)
+if [ -z "$ngroups" ] || [ "$ngroups" -eq 0 ]; then
+  echo "FAIL: empty groups response" >&2
+  head -c 400 /tmp/groups.json >&2
+  exit 1
+fi
+
+# Resubmitting the identical spec must be a cache hit.
+resubmit=$(curl -sf -X POST "$BASE/jobs" -d '{"random":"500:0.5","seed":1}')
+echo "resubmit: $resubmit"
+case "$resubmit" in
+  *'"cache_hit":true'*) ;;
+  *) echo "FAIL: resubmission was not a cache hit" >&2; exit 1 ;;
+esac
+
+echo "OK: job $id colored into $ngroups groups; resubmission served from cache"
