@@ -305,6 +305,41 @@ func BenchmarkColorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSteadyStateRecolor measures the zero-allocation steady state a
+// service worker lives in: the same dense instance recolored over and over
+// on one warm Arena, against the fresh-buffers baseline. Run with -benchmem:
+// the arena variant's allocs/op is the PR's headline — a fixed few dozen
+// objects per full run (Result bookkeeping only) versus tens of thousands,
+// and correspondingly ~zero B/op of garbage.
+func BenchmarkSteadyStateRecolor(b *testing.B) {
+	o := picasso.RandomGraph(4000, 0.5, 9)
+	run := func(b *testing.B, opts picasso.Options) {
+		res, err := picasso.Color(o, opts) // warm-up (grows the arena, if any)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Iters)), "iterations")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := picasso.Color(o, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		opts := picasso.Normal(1)
+		opts.Workers = 1
+		run(b, opts)
+	})
+	b.Run("arena", func(b *testing.B) {
+		opts := picasso.Normal(1)
+		opts.Workers = 1
+		opts.Arena = picasso.NewArena()
+		run(b, opts)
+	})
+}
+
 // BenchmarkPauliGrouping measures the end-to-end quantum workflow:
 // molecule build, coloring, grouping.
 func BenchmarkPauliGrouping(b *testing.B) {

@@ -9,11 +9,14 @@
 // (kernel.go). Vertices are bucketed by candidate color, so only pairs that
 // co-occur in a bucket — exactly the pairs sharing a candidate color — are
 // ever enumerated, and the edge oracle is consulted once per such pair
-// (bitset deduplication). This replaces the historical all-pairs scan,
+// (bitset deduplication), batched one row at a time through
+// BatchEdgeOracle.HasRow so row-capable oracles hoist their per-vertex data
+// out of the pair loop. This replaces the historical all-pairs scan,
 // dropping per-iteration work from Θ(m²) pair tests to Θ(Σ_c |bucket_c|²)
 // oracle calls, which under the paper's L²/P operating regime is a small
 // fraction of the pair space (see ReferenceAllPairs and the package
-// benchmarks for the measured gap).
+// benchmarks for the measured gap). Builders constructed with a Config.Arena
+// additionally reuse all working storage across builds (see Arena).
 package backend
 
 import (
@@ -33,6 +36,40 @@ type EdgeOracle interface {
 	Len() int
 	// Has reports whether local vertices i and j are adjacent in the input.
 	Has(i, j int) bool
+}
+
+// BatchEdgeOracle is an EdgeOracle whose adjacency test is batched per row:
+// HasRow answers Has(i, js[k]) into out[k] for a whole candidate row at
+// once. The bucket kernel naturally produces one deduplicated candidate
+// list per row, so a batch-capable oracle (e.g. the Pauli commute kernel)
+// hoists row i's vertex data a single time and streams the candidates over
+// packed words instead of paying an interface dispatch, a closure call and
+// a bounds recomputation per pair. Implementations must not retain js/out.
+type BatchEdgeOracle interface {
+	EdgeOracle
+	// HasRow writes Has(i, js[k]) to out[k] for every k; len(out) ≥ len(js).
+	HasRow(i int, js []int32, out []bool)
+}
+
+// AsBatch adapts any EdgeOracle to the batch interface: batch-capable
+// oracles pass through, plain oracles get a per-pair fallback loop. The
+// kernel consults oracles exclusively through this, so custom EdgeOracle
+// implementations keep working unchanged and batch-capable ones are used
+// at full width.
+func AsBatch(o EdgeOracle) BatchEdgeOracle {
+	if b, ok := o.(BatchEdgeOracle); ok {
+		return b
+	}
+	return perPairBatch{o}
+}
+
+// perPairBatch answers HasRow with one Has call per candidate.
+type perPairBatch struct{ EdgeOracle }
+
+func (p perPairBatch) HasRow(i int, js []int32, out []bool) {
+	for k, j := range js {
+		out[k] = p.Has(i, int(j))
+	}
 }
 
 // DeviceSizer is optionally implemented by oracles whose vertex data must be
@@ -108,6 +145,10 @@ type Config struct {
 	Device *gpusim.Device
 	// Devices is the device group for the multi-device path.
 	Devices []*gpusim.Device
+	// Arena, when non-nil, pools the builder's working storage across
+	// builds (see Arena). The builder then allocates only on growth; nil
+	// keeps the historical fresh-buffers-per-build behavior.
+	Arena *Arena
 }
 
 // Factory builds a ConflictBuilder from a Config.
@@ -172,8 +213,15 @@ func Names() []string {
 // conversion, the resulting CSR stays charged (Stats.HostBytes) for the
 // caller to free.
 func finishCOO(coo *graph.COO, tr *memtrack.Tracker, st Stats) (*ConflictGraph, Stats, error) {
+	return finishCOOIn(nil, coo, tr, st)
+}
+
+// finishCOOIn is finishCOO drawing the degree scratch and the CSR backing
+// from an arena (nil = fresh allocations). The pooled CSR is lent to the
+// returned ConflictGraph until the arena's next build.
+func finishCOOIn(a *Arena, coo *graph.COO, tr *memtrack.Tracker, st Stats) (*ConflictGraph, Stats, error) {
 	release := tr.Scoped(coo.Bytes())
-	gc, err := coo.ToCSR(coo.CountDegrees())
+	gc, err := coo.ToCSRInto(coo.CountDegreesInto(a.degBuf(coo.N)), a.csrBuf())
 	release()
 	if err != nil {
 		return nil, st, err

@@ -178,12 +178,12 @@ func TestChunkedScanPreservesCOOOrder(t *testing.T) {
 	bk := NewBuckets(lists)
 
 	whole := &graph.COO{N: n}
-	bk.scanRows(o, lists, 0, n, NewScratch(n), whole)
+	bk.scanRows(AsBatch(o), lists, 0, n, NewScratch(n), whole)
 
 	chunked := &graph.COO{N: n}
 	for _, cut := range [][2]int{{0, 97}, {97, 201}, {201, n}} {
 		part := &graph.COO{N: n}
-		bk.scanRows(o, lists, cut[0], cut[1], NewScratch(n), part)
+		bk.scanRows(AsBatch(o), lists, cut[0], cut[1], NewScratch(n), part)
 		chunked.U = append(chunked.U, part.U...)
 		chunked.V = append(chunked.V, part.V...)
 	}

@@ -7,6 +7,7 @@ import (
 	"picasso/internal/gpusim"
 	"picasso/internal/graph"
 	"picasso/internal/memtrack"
+	"picasso/internal/par"
 )
 
 func init() {
@@ -14,23 +15,27 @@ func init() {
 		if cfg.Device == nil {
 			return nil, fmt.Errorf("backend: gpu backend requires a device")
 		}
-		return gpuBuilder{dev: cfg.Device}, nil
+		return gpuBuilder{dev: cfg.Device, arena: cfg.Arena}, nil
 	})
 }
 
 // gpuBuilder mirrors Algorithm 3 on the simulated device: one band covering
 // every row, with the CSR-on-device decision enabled.
-type gpuBuilder struct{ dev *gpusim.Device }
+type gpuBuilder struct {
+	dev   *gpusim.Device
+	arena *Arena
+}
 
 func (gpuBuilder) Name() string { return "gpu" }
 
 func (g gpuBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
 	m := o.Len()
-	bk := NewBuckets(lists)
+	a := g.arena
+	bk := NewBucketsIn(a, lists)
 	release := tr.Scoped(bk.Bytes())
 	defer release()
 
-	scan, err := deviceScan(g.dev, o, lists, bk, 0, m, true)
+	scan, err := deviceScan(g.dev, o, lists, bk, 0, m, true, a.band(0))
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -39,7 +44,7 @@ func (g gpuBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 		DevicePeakBytes: g.dev.Peak(),
 		PairsTested:     scan.calls,
 	}
-	gc, err := scan.coo.ToCSR(scan.deg)
+	gc, err := scan.coo.ToCSRInto(scan.deg, a.csrBuf())
 	if err != nil {
 		return nil, st, err
 	}
@@ -66,8 +71,9 @@ type scanResult struct {
 //	1: AvailMem = min(worst-case edge list, free device memory)
 //	2: allocate input data (oracle slab + color lists + bucket index) +
 //	   2|V| offset counters (4- or 8-byte) + the edge list
-//	3: kernel enumerates bucket-deduplicated candidate pairs per row and
-//	   fills an unordered COO through an atomic cursor
+//	3: kernel collects each row's bucket-deduplicated candidates, tests the
+//	   whole row in one batched oracle call, and bulk-reserves the row's
+//	   hits in the unordered edge list through a single atomic cursor add
 //	4: per-vertex degrees accumulate for the exclusive_sum step
 //	5: with decideCSR, if the CSR fits the spare budget it is generated
 //	   "on device"; otherwise the caller falls back to the host CPU.
@@ -81,8 +87,10 @@ type scanResult struct {
 // by that small constant — the honest price of shipping the index.
 // Per-worker scratch (a seen-bitset of m bits per "SM") is treated as
 // kernel-local shared memory outside the budget model, like the dense
-// kernel's registers were.
-func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, hi int, decideCSR bool) (scanResult, error) {
+// kernel's registers were. The band arena (nil = fresh buffers) pools the
+// host-side mirrors of the device allocations across scans; bands must use
+// distinct arenas when scanning concurrently.
+func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, hi int, decideCSR bool, ba *bandState) (scanResult, error) {
 	m := o.Len()
 	dev.ResetPeak()
 
@@ -129,43 +137,70 @@ func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, 
 	}
 	defer edgeBuf.Free()
 
-	// Kernel: contiguous row ranges per worker ("SM") with private scratch,
-	// shared atomic cursor into the edge list, atomic per-vertex degree
-	// counters. Degrees are only accumulated when the caller will build the
-	// CSR from this single band (decideCSR); the multi-device path merges
-	// bands first and recounts, so its kernels skip the per-edge atomics.
-	u32 := make([]int32, capEdges)
-	v32 := make([]int32, capEdges)
+	// Kernel: contiguous row ranges per worker ("SM") with private scratch.
+	// Each row is one batched oracle call; its hits claim a contiguous run
+	// of the edge list via one atomic cursor add (row-at-a-time reservation
+	// instead of an atomic per edge). Degrees are only accumulated when the
+	// caller will build the CSR from this single band (decideCSR); the
+	// multi-device path merges bands first and recounts, so its kernels
+	// skip the per-edge atomics.
+	u32, v32 := ba.edgeBufs(capEdges)
 	var deg []int64
 	if decideCSR {
-		deg = make([]int64, m)
+		deg = ba.degCounters(m)
 	}
+	workers := dev.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	ba.reserveScratches(workers, m)
+	bo := AsBatch(o)
 	var cursor, calls atomic.Int64
 	var overflow atomic.Bool
-	dev.LaunchChunked(hi-lo, func(clo, chi, _ int) {
-		s := NewScratch(m)
+	dev.LaunchChunked(hi-lo, func(clo, chi, w int) {
+		s := ba.scratch(w, m)
 		var localCalls int64
 		for i := lo + clo; i < lo+chi; i++ {
-			ok := bk.ForRow(lists, i, s, func(j int32) bool {
-				localCalls++
-				if !o.Has(i, int(j)) {
-					return true
-				}
-				idx := cursor.Add(1) - 1
-				if idx >= capEdges {
-					overflow.Store(true)
-					return false
-				}
-				u32[idx] = int32(i)
-				v32[idx] = j
-				if deg != nil {
-					atomic.AddInt64(&deg[i], 1)
-					atomic.AddInt64(&deg[j], 1)
-				}
-				return true
-			})
-			if !ok {
+			if overflow.Load() {
 				break
+			}
+			cand := bk.CollectRow(lists, i, s)
+			if len(cand) == 0 {
+				continue
+			}
+			hits := s.hitsFor(len(cand))
+			bo.HasRow(i, cand, hits)
+			localCalls += int64(len(cand))
+			nh := int64(0)
+			for _, h := range hits {
+				if h {
+					nh++
+				}
+			}
+			if nh == 0 {
+				continue
+			}
+			base := cursor.Add(nh) - nh
+			if base+nh > capEdges {
+				overflow.Store(true)
+				break
+			}
+			idx := base
+			for k, j := range cand {
+				if hits[k] {
+					u32[idx] = int32(i)
+					v32[idx] = j
+					idx++
+					if deg != nil {
+						atomic.AddInt64(&deg[j], 1)
+					}
+				}
+			}
+			if deg != nil {
+				atomic.AddInt64(&deg[i], nh)
 			}
 		}
 		calls.Add(localCalls)

@@ -5,6 +5,7 @@ import (
 
 	"picasso/internal/bitvec"
 	"picasso/internal/graph"
+	"picasso/internal/grow"
 	"picasso/internal/memtrack"
 )
 
@@ -32,40 +33,60 @@ type Buckets struct {
 // NewBuckets builds the inverted index in two counting passes over the
 // lists, Θ(n·L) time and space.
 func NewBuckets(lists Lists) *Buckets {
+	return NewBucketsIn(nil, lists)
+}
+
+// NewBucketsIn is NewBuckets drawing the index storage (and the counting
+// scratch) from an arena; a nil arena allocates fresh.
+func NewBucketsIn(a *Arena, lists Lists) *Buckets {
 	n, P := lists.Len(), lists.Palette()
-	counts := make([]int64, P)
+	b := &Buckets{}
+	var cnt []int64
+	if a != nil {
+		if a.bk == nil {
+			a.bk = &Buckets{}
+		}
+		b = a.bk
+		a.cnt = grow.Zeroed(a.cnt, P)
+		cnt = a.cnt
+	} else {
+		cnt = make([]int64, P)
+	}
+	b.P = P
 	for i := 0; i < n; i++ {
 		for _, c := range lists.List(i) {
-			counts[c]++
+			cnt[c]++
 		}
 	}
-	off := graph.ExclusiveSum(counts)
-	vtx := make([]int32, off[P])
-	cur := make([]int64, P)
-	copy(cur, off[:P])
+	b.Off = graph.ExclusiveSumInto(cnt, grow.Slice(b.Off, P+1))
+	b.Vtx = grow.Slice(b.Vtx, int(b.Off[P]))
+	// Reuse the counting pass as the fill cursor.
+	copy(cnt, b.Off[:P])
 	for i := 0; i < n; i++ {
 		for _, c := range lists.List(i) {
-			vtx[cur[c]] = int32(i)
-			cur[c]++
+			b.Vtx[cnt[c]] = int32(i)
+			cnt[c]++
 		}
 	}
 	// Buckets are ascending by construction (vertices inserted in id order),
 	// so the member at position k of a bucket of size s has s−1−k larger
 	// co-members — the pairs its row will enumerate from that bucket.
-	weight := make([]int64, n)
+	b.RowWeight = grow.Zeroed(b.RowWeight, n)
 	for c := 0; c < P; c++ {
-		members := vtx[off[c]:off[c+1]]
+		members := b.Vtx[b.Off[c]:b.Off[c+1]]
 		for k, j := range members {
-			weight[j] += int64(len(members) - 1 - k)
+			b.RowWeight[j] += int64(len(members) - 1 - k)
 		}
 	}
-	return &Buckets{P: P, Off: off, Vtx: vtx, RowWeight: weight}
+	return b
 }
 
 // Bytes returns the index footprint for budget accounting (device builders
-// ship the index alongside the lists).
+// ship the index alongside the lists): the live entries, not the possibly
+// arena-pooled capacity — budget decisions must not depend on what a warm
+// arena previously held.
 func (b *Buckets) Bytes() int64 {
-	return int64(cap(b.Off))*8 + int64(cap(b.Vtx))*4 + int64(cap(b.RowWeight))*8
+	return int64(len(b.Off))*8 + int64(len(b.Vtx))*4 + int64(len(b.RowWeight))*8
 }
 
 // PairWork returns Σ_c |bucket_c|·(|bucket_c|−1)/2, the kernel's total pair
@@ -80,12 +101,14 @@ func (b *Buckets) PairWork() int64 {
 	return total
 }
 
-// Scratch is the per-worker state of the row scan: a seen-bitset plus the
-// candidate list of the current row. One Scratch may be reused across any
-// number of sequential ForRow calls; concurrent rows need separate Scratches.
+// Scratch is the per-worker state of the row scan: a seen-bitset, the
+// candidate list of the current row, and the batch-test hit buffer. One
+// Scratch may be reused across any number of sequential row scans;
+// concurrent rows need separate Scratches.
 type Scratch struct {
 	seen bitvec.Bits
 	cand []int32
+	hits []bool
 }
 
 // NewScratch returns scratch state for graphs of n vertices.
@@ -93,9 +116,27 @@ func NewScratch(n int) *Scratch {
 	return &Scratch{seen: bitvec.NewBits(n)}
 }
 
-// Bytes returns the scratch footprint.
+// grow widens the seen-bitset to n vertices. The bitset is all-zero between
+// rows (CollectRow clears exactly the bits it set), so growing may simply
+// replace it.
+func (s *Scratch) grow(n int) {
+	if len(s.seen)*64 < n {
+		s.seen = bitvec.NewBits(n)
+	}
+}
+
+// hitsFor returns the hit buffer resized for n candidates.
+func (s *Scratch) hitsFor(n int) []bool {
+	s.hits = grow.Slice(s.hits, n)
+	return s.hits
+}
+
+// Bytes returns the scratch footprint: the seen-bitset only. The candidate
+// and hit buffers are transient append storage, excluded from the memory
+// model like all such storage (see ScratchBytes) — and, being arena-pooled,
+// their capacities reflect history, not this build.
 func (s *Scratch) Bytes() int64 {
-	return s.seen.Bytes() + int64(cap(s.cand))*4
+	return s.seen.Bytes()
 }
 
 // ScratchBytes returns the bitset footprint of a Scratch for n vertices
@@ -106,14 +147,15 @@ func ScratchBytes(n int) int64 {
 	return int64((n+63)/64) * 8
 }
 
-// ForRow calls f exactly once for every vertex j > i sharing at least one
-// candidate color with i (in bucket-discovery order). Duplicates — pairs
-// sharing several colors — are suppressed with the scratch bitset, which is
-// restored to all-zero before f runs, so f may recurse into other rows.
-// Each bucket is entered at the first member greater than i via binary
-// search: rows near the top of a bucket never rescan the vertices below
-// them. Returns false if f aborted the scan.
-func (b *Buckets) ForRow(lists Lists, i int, s *Scratch, f func(j int32) bool) bool {
+// CollectRow gathers row i's deduplicated candidate partners — every j > i
+// sharing at least one candidate color with i, in bucket-discovery order —
+// into the scratch candidate buffer and returns it. Duplicates (pairs
+// sharing several colors) are suppressed with the scratch bitset, which is
+// restored to all-zero before returning. Each bucket is entered at the first
+// member greater than i via binary search: rows near the top of a bucket
+// never rescan the vertices below them. The returned slice is valid until
+// the next collection on the same Scratch.
+func (b *Buckets) CollectRow(lists Lists, i int, s *Scratch) []int32 {
 	s.cand = s.cand[:0]
 	for _, c := range lists.List(i) {
 		members := b.Vtx[b.Off[c]:b.Off[c+1]]
@@ -128,7 +170,16 @@ func (b *Buckets) ForRow(lists Lists, i int, s *Scratch, f func(j int32) bool) b
 	for _, j := range s.cand {
 		s.seen.Clear(int(j))
 	}
-	for _, j := range s.cand {
+	return s.cand
+}
+
+// ForRow calls f exactly once for every vertex j > i sharing at least one
+// candidate color with i (in bucket-discovery order). The bitset is restored
+// to all-zero before f runs, so f may recurse into other rows. Returns false
+// if f aborted the scan. Kept for callers that want per-candidate control;
+// the builders use the batched scan below.
+func (b *Buckets) ForRow(lists Lists, i int, s *Scratch, f func(j int32) bool) bool {
+	for _, j := range b.CollectRow(lists, i, s) {
 		if !f(j) {
 			return false
 		}
@@ -137,20 +188,28 @@ func (b *Buckets) ForRow(lists Lists, i int, s *Scratch, f func(j int32) bool) b
 }
 
 // scanRows runs the kernel over rows [lo, hi), appending the surviving
-// edges to coo and returning the number of pairs tested (each test is one
-// edge-oracle consultation — bucket co-occurrence already proved the pair
-// shares a color). This is the one conflict-test loop every builder
-// executes.
-func (b *Buckets) scanRows(o EdgeOracle, lists Lists, lo, hi int, s *Scratch, coo *graph.COO) int64 {
+// edges to coo and returning the number of pairs tested. Each row is one
+// batched edge-oracle consultation: the row's deduplicated candidates are
+// collected, tested in a single HasRow call (bucket co-occurrence already
+// proved each pair shares a color), and the hits appended in candidate
+// order — bit-identical COO output to the historical per-pair loop, minus
+// a closure call and an oracle dispatch per pair. This is the one
+// conflict-test loop every builder executes.
+func (b *Buckets) scanRows(o BatchEdgeOracle, lists Lists, lo, hi int, s *Scratch, coo *graph.COO) int64 {
 	var calls int64
 	for i := lo; i < hi; i++ {
-		b.ForRow(lists, i, s, func(j int32) bool {
-			calls++
-			if o.Has(i, int(j)) {
+		cand := b.CollectRow(lists, i, s)
+		if len(cand) == 0 {
+			continue
+		}
+		hits := s.hitsFor(len(cand))
+		o.HasRow(i, cand, hits)
+		calls += int64(len(cand))
+		for k, j := range cand {
+			if hits[k] {
 				coo.Append(int32(i), j)
 			}
-			return true
-		})
+		}
 	}
 	return calls
 }

@@ -15,7 +15,7 @@ func init() {
 		if len(cfg.Devices) == 0 {
 			return nil, fmt.Errorf("backend: multigpu backend requires a device group")
 		}
-		return multiBuilder{devs: cfg.Devices}, nil
+		return multiBuilder{devs: cfg.Devices, arena: cfg.Arena}, nil
 	})
 }
 
@@ -28,7 +28,10 @@ func init() {
 // merged on the host. Only line 7 of Algorithm 1 is distributed: the merged
 // conflict graph, and hence the coloring, is identical to every other
 // backend's.
-type multiBuilder struct{ devs []*gpusim.Device }
+type multiBuilder struct {
+	devs  []*gpusim.Device
+	arena *Arena
+}
 
 func (multiBuilder) Name() string { return "multigpu" }
 
@@ -36,16 +39,23 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 	if len(b.devs) == 1 {
 		// A singleton group is exactly the single-device path, including
 		// its CSR-on-device decision.
-		return gpuBuilder{dev: b.devs[0]}.Build(o, lists, tr)
+		return gpuBuilder{dev: b.devs[0], arena: b.arena}.Build(o, lists, tr)
 	}
 	m := o.Len()
-	bk := NewBuckets(lists)
+	a := b.arena
+	bk := NewBucketsIn(a, lists)
 	release := tr.Scoped(bk.Bytes())
 	defer release()
 
 	bounds := par.WeightedBounds(bk.RowWeight, len(b.devs))
 	results := make([]scanResult, len(b.devs))
 	errs := make([]error, len(b.devs))
+	// Band arenas are reserved serially before the goroutines launch; each
+	// device then owns its band's buffers exclusively.
+	bands := make([]*bandState, len(b.devs))
+	for d := range b.devs {
+		bands[d] = a.band(d)
+	}
 	var wg sync.WaitGroup
 	for d := range b.devs {
 		lo, hi := bounds[d], bounds[d+1]
@@ -56,12 +66,12 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 		wg.Add(1)
 		go func(d, lo, hi int) {
 			defer wg.Done()
-			results[d], errs[d] = deviceScan(b.devs[d], o, lists, bk, lo, hi, false)
+			results[d], errs[d] = deviceScan(b.devs[d], o, lists, bk, lo, hi, false, bands[d])
 		}(d, lo, hi)
 	}
 	wg.Wait()
 
-	merged := &graph.COO{N: m}
+	merged := a.mainCOO(m)
 	var st Stats
 	for d, r := range results {
 		if errs[d] != nil {
@@ -74,7 +84,7 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 			st.DevicePeakBytes = p
 		}
 	}
-	return finishCOO(merged, tr, st)
+	return finishCOOIn(a, merged, tr, st)
 }
 
 // bandPairs counts the all-pairs upper bound owned by rows [lo, hi) of an

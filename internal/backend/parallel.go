@@ -8,7 +8,7 @@ import (
 
 func init() {
 	Register("parallel", func(cfg Config) (ConflictBuilder, error) {
-		return parBuilder{workers: cfg.Workers}, nil
+		return parBuilder{workers: cfg.Workers, arena: cfg.Arena}, nil
 	})
 }
 
@@ -18,7 +18,10 @@ func init() {
 // kernel into a private edge buffer with private scratch, and the buffers
 // are concatenated in worker order so the edge list — and therefore the
 // downstream coloring — is identical to the sequential builder's.
-type parBuilder struct{ workers int }
+type parBuilder struct {
+	workers int
+	arena   *Arena
+}
 
 func (parBuilder) Name() string { return "parallel" }
 
@@ -28,23 +31,28 @@ func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
 	}
-	bk := NewBuckets(lists)
+	a := b.arena
+	bk := NewBucketsIn(a, lists)
 	// Charge the index plus every worker's seen-bitset: the parallel path
 	// holds workers× the scratch the sequential one does, and the byte-exact
 	// memory model should say so.
 	release := tr.Scoped(bk.Bytes() + int64(workers)*ScratchBytes(m))
 	defer release()
 
+	// Lanes are reserved serially here; inside the weighted loop each worker
+	// touches only its own lane, so arena reuse stays race-free.
+	a.reserveLanes(workers)
+	bo := AsBatch(o)
 	locals := make([]*graph.COO, workers)
-	calls := make([]int64, workers)
+	calls := a.callsBuf(workers)
 	par.ForWeightedChunks(workers, bk.RowWeight, func(lo, hi, w int) {
-		s := NewScratch(m)
-		local := &graph.COO{N: m}
-		calls[w] = bk.scanRows(o, lists, lo, hi, s, local)
+		s := a.scratch(w, m)
+		local := a.laneCOO(w, m)
+		calls[w] = bk.scanRows(bo, lists, lo, hi, s, local)
 		locals[w] = local
 	})
 
-	coo := &graph.COO{N: m}
+	coo := a.mainCOO(m)
 	var st Stats
 	for w, local := range locals {
 		if local == nil {
@@ -54,5 +62,5 @@ func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 		coo.V = append(coo.V, local.V...)
 		st.PairsTested += calls[w]
 	}
-	return finishCOO(coo, tr, st)
+	return finishCOOIn(a, coo, tr, st)
 }

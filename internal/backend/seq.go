@@ -1,29 +1,30 @@
 package backend
 
 import (
-	"picasso/internal/graph"
 	"picasso/internal/memtrack"
 )
 
 func init() {
-	Register("sequential", func(Config) (ConflictBuilder, error) {
-		return seqBuilder{}, nil
+	Register("sequential", func(cfg Config) (ConflictBuilder, error) {
+		return seqBuilder{arena: cfg.Arena}, nil
 	})
 }
 
 // seqBuilder is the single-threaded CPU path (the paper's "CPU only"
 // configuration): one scratch, one pass of the bucket kernel over all rows.
-type seqBuilder struct{}
+type seqBuilder struct{ arena *Arena }
 
 func (seqBuilder) Name() string { return "sequential" }
 
-func (seqBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+func (b seqBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
 	m := o.Len()
-	bk := NewBuckets(lists)
-	s := NewScratch(m)
+	a := b.arena
+	bk := NewBucketsIn(a, lists)
+	a.reserveLanes(1)
+	s := a.scratch(0, m)
 	release := tr.Scoped(bk.Bytes() + s.Bytes())
 	defer release()
-	coo := &graph.COO{N: m}
-	st := Stats{PairsTested: bk.scanRows(o, lists, 0, m, s, coo)}
-	return finishCOO(coo, tr, st)
+	coo := a.mainCOO(m)
+	st := Stats{PairsTested: bk.scanRows(AsBatch(o), lists, 0, m, s, coo)}
+	return finishCOOIn(a, coo, tr, st)
 }

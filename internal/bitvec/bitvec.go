@@ -58,13 +58,16 @@ func AndPopcount(a, b Vec) int {
 }
 
 // AndParity reports whether popcount(a AND b) is odd. This is the hot path
-// of the anticommutation test: it avoids accumulating the full count.
+// of the anticommutation test. Popcount parity is XOR-linear —
+// parity(popcount(x ^ y)) = parity(popcount x) ⊕ parity(popcount y) — so the
+// AND words are XOR-folded into a single accumulator and one OnesCount64 at
+// the end decides the parity, instead of a popcount per word.
 func AndParity(a, b Vec) bool {
 	var acc uint64
 	for i, w := range a {
-		acc ^= uint64(bits.OnesCount64(w&b[i]) & 1)
+		acc ^= w & b[i]
 	}
-	return acc&1 == 1
+	return bits.OnesCount64(acc)&1 == 1
 }
 
 // Popcount returns the total number of set bits.

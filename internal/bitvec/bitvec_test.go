@@ -1,6 +1,7 @@
 package bitvec
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -144,15 +145,17 @@ func TestAndParitySymmetricQuick(t *testing.T) {
 
 func BenchmarkAndParity(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
-	const n = 64 // qubits
-	a, c := New(n), New(n)
-	for i := 0; i < n; i++ {
-		a.SetGroup(i, uint8(rng.Intn(8)))
-		c.SetGroup(i, uint8(rng.Intn(8)))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = AndParity(a, c)
+	for _, n := range []int{16, 64, 512} { // qubits: 1, 4, and 25 words
+		a, c := New(n), New(n)
+		for i := 0; i < n; i++ {
+			a.SetGroup(i, uint8(rng.Intn(8)))
+			c.SetGroup(i, uint8(rng.Intn(8)))
+		}
+		b.Run(fmt.Sprintf("qubits=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = AndParity(a, c)
+			}
+		})
 	}
 }
 

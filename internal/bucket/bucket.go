@@ -6,7 +6,11 @@
 // bound (paper §IV-B).
 package bucket
 
-import "fmt"
+import (
+	"fmt"
+
+	"picasso/internal/grow"
+)
 
 // None is returned by PopMin on an empty structure.
 const None int32 = -1
@@ -23,17 +27,28 @@ type Array struct {
 
 // New creates a bucket array for vertex ids [0, n) and keys [0, maxKey].
 func New(n, maxKey int) *Array {
-	b := &Array{
-		buckets: make([][]int32, maxKey+1),
-		pos:     make([]int32, n),
-		key:     make([]int32, n),
-		minKey:  maxKey + 1,
+	b := &Array{}
+	b.Reset(n, maxKey)
+	return b
+}
+
+// Reset re-initializes the array for n vertices and keys [0, maxKey],
+// reusing the backing storage of a previous use where it is large enough.
+// This is the pooling hook for steady-state callers (Algorithm 2 runs once
+// per iteration); a Reset array is indistinguishable from a New one.
+func (b *Array) Reset(n, maxKey int) {
+	b.buckets = grow.Slice(b.buckets, maxKey+1)
+	for k := range b.buckets {
+		b.buckets[k] = b.buckets[k][:0]
 	}
+	b.pos = grow.Slice(b.pos, n)
+	b.key = grow.Slice(b.key, n)
 	for i := range b.pos {
 		b.pos[i] = -1
 		b.key[i] = -1
 	}
-	return b
+	b.minKey = maxKey + 1
+	b.size = 0
 }
 
 // Len returns the number of stored vertices.

@@ -2,9 +2,10 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"picasso/internal/backend"
+	"picasso/internal/grow"
 )
 
 // colorLists holds the per-vertex candidate color lists of one iteration in
@@ -20,9 +21,11 @@ type colorLists struct {
 	flat    []int32
 }
 
-// Bytes returns the memory footprint of the list storage.
+// Bytes returns the memory footprint of the list storage: the live entries,
+// not the (possibly arena-pooled) capacity — this is the figure device
+// builds ship and trackers charge.
 func (cl *colorLists) Bytes() int64 {
-	return int64(cap(cl.flat)) * 4
+	return int64(len(cl.flat)) * 4
 }
 
 // list returns vertex i's sorted candidate colors.
@@ -48,15 +51,15 @@ var _ backend.Lists = (*colorLists)(nil)
 // uniformly at random from [0, P) (Algorithm 1, line 6) using Floyd's
 // subset-sampling algorithm, sorting each list (the bucket kernel binary
 // searches within buckets and the list-coloring phase merges lists, both
-// relying on ascending order).
-func assignRandomLists(n, P, L int, rng *rand.Rand) *colorLists {
-	cl := &colorLists{
-		n:    n,
-		P:    P,
-		L:    L,
-		flat: make([]int32, n*L),
-	}
-	chosen := make(map[int32]struct{}, L)
+// relying on ascending order). List storage and the duplicate-detection
+// stamp set come from the arena, so the random stream — and therefore the
+// sampled lists — are identical to the historical map-based sampler with
+// none of its per-vertex rebuild cost.
+func assignRandomLists(n, P, L int, rng *rand.Rand, ar *Arena) *colorLists {
+	cl := &ar.cl
+	cl.n, cl.P, cl.L = n, P, L
+	cl.flat = grow.Slice(cl.flat, n*L)
+	chosen := &ar.stamps
 	for i := 0; i < n; i++ {
 		lst := cl.list(i)
 		if L == P {
@@ -64,18 +67,18 @@ func assignRandomLists(n, P, L int, rng *rand.Rand) *colorLists {
 				lst[c] = int32(c)
 			}
 		} else {
-			clear(chosen)
+			chosen.reset(P)
 			k := 0
 			for j := P - L; j < P; j++ {
 				t := int32(rng.Intn(j + 1))
-				if _, dup := chosen[t]; dup {
+				if chosen.has(t) {
 					t = int32(j)
 				}
-				chosen[t] = struct{}{}
+				chosen.add(t)
 				lst[k] = t
 				k++
 			}
-			sort.Slice(lst, func(a, b int) bool { return lst[a] < lst[b] })
+			slices.Sort(lst)
 		}
 	}
 	return cl

@@ -7,7 +7,7 @@ import (
 
 func TestAssignRandomListsShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	cl := assignRandomLists(100, 40, 7, rng)
+	cl := assignRandomLists(100, 40, 7, rng, NewArena())
 	if cl.n != 100 || cl.L != 7 {
 		t.Fatalf("shape %d/%d", cl.n, cl.L)
 	}
@@ -34,7 +34,7 @@ func TestAssignRandomListsShape(t *testing.T) {
 
 func TestAssignFullPalette(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	cl := assignRandomLists(10, 5, 5, rng) // L == P: whole palette
+	cl := assignRandomLists(10, 5, 5, rng, NewArena()) // L == P: whole palette
 	for i := 0; i < 10; i++ {
 		lst := cl.list(i)
 		for k, c := range lst {
@@ -51,15 +51,15 @@ func TestAssignFullPalette(t *testing.T) {
 
 func TestListBytesPositive(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	cl := assignRandomLists(50, 20, 4, rng)
+	cl := assignRandomLists(50, 20, 4, rng, NewArena())
 	if cl.Bytes() < 50*4*4 {
 		t.Fatalf("Bytes = %d", cl.Bytes())
 	}
 }
 
 func TestAssignDeterministicBySeed(t *testing.T) {
-	a := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)))
-	b := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)))
+	a := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)), NewArena())
+	b := assignRandomLists(80, 30, 6, rand.New(rand.NewSource(9)), NewArena())
 	for i := range a.flat {
 		if a.flat[i] != b.flat[i] {
 			t.Fatal("same seed, different lists")

@@ -11,25 +11,87 @@ import (
 // the returned CSR. This file only adapts the user's graph.Oracle to the
 // backend's iteration-local view.
 
-// edgeOracle answers adjacency between iteration-local indices by mapping
-// through the active-vertex table to the user's oracle. It implements
-// backend.EdgeOracle, and forwards backend.DeviceSizer when the underlying
-// oracle carries device-resident vertex data (e.g. the encoded Pauli slab).
+// edgeOracle answers adjacency between iteration-local indices. Three
+// shapes, fastest first:
+//
+//   - active == nil, row != nil: the oracle's own ids are the local ids
+//     (iteration 1, or a SubViewer compaction) and it answers whole rows —
+//     the kernel's batched HasRow forwards straight into the oracle's row
+//     kernel with no per-pair indirection at all.
+//   - active == nil, row == nil: identity ids, per-pair HasEdge.
+//   - active != nil: local ids map through the active-vertex table to the
+//     user's oracle — the historical double-indirection path, kept for
+//     oracles that cannot compact (no graph.SubViewer).
+//
+// It implements backend.BatchEdgeOracle either way, and forwards
+// backend.DeviceSizer when the underlying oracle carries device-resident
+// vertex data (e.g. the encoded Pauli slab).
 type edgeOracle struct {
-	o      graph.Oracle
-	active []int32
+	o         graph.Oracle
+	row       graph.RowOracle // non-nil only when active == nil and o batches rows
+	active    []int32         // nil when local ids are the oracle's ids
+	compacted bool            // o is an iteration-local sub-view, not the input
+}
+
+// newEdgeOracle builds iteration iter's local view over the active
+// vertices. Iteration 1 is always the identity view; later iterations
+// compact SubViewer oracles into a contiguous sub-view held (and recycled)
+// by the arena, and fall back to the mapping table otherwise.
+func newEdgeOracle(o graph.Oracle, active []int32, iter int, ar *Arena) edgeOracle {
+	eo := edgeOracle{o: o, active: active}
+	if iter == 1 {
+		eo.active = nil
+	} else if sv, ok := o.(graph.SubViewer); ok {
+		ar.sub = sv.SubView(active, ar.sub)
+		eo.o, eo.active, eo.compacted = ar.sub, nil, true
+	}
+	if eo.active == nil {
+		if ro, ok := eo.o.(graph.RowOracle); ok {
+			eo.row = ro
+		}
+	}
+	return eo
 }
 
 // Len returns the active-vertex count m.
-func (e edgeOracle) Len() int { return len(e.active) }
+func (e edgeOracle) Len() int {
+	if e.active == nil {
+		return e.o.NumVertices()
+	}
+	return len(e.active)
+}
 
 // Has reports input adjacency between local vertices i and j.
 func (e edgeOracle) Has(i, j int) bool {
+	if e.active == nil {
+		return e.o.HasEdge(i, j)
+	}
 	return e.o.HasEdge(int(e.active[i]), int(e.active[j]))
 }
 
+// HasRow answers a whole candidate row (backend.BatchEdgeOracle): through
+// the oracle's own row kernel when it has one, otherwise by a local loop —
+// which still hoists row i's id mapping out of the per-pair work.
+func (e edgeOracle) HasRow(i int, js []int32, out []bool) {
+	if e.row != nil {
+		e.row.HasEdgeRow(i, js, out)
+		return
+	}
+	if e.active == nil {
+		for k, j := range js {
+			out[k] = e.o.HasEdge(i, int(j))
+		}
+		return
+	}
+	u := int(e.active[i])
+	for k, j := range js {
+		out[k] = e.o.HasEdge(u, int(e.active[j]))
+	}
+}
+
 // DeviceBytes reports the underlying oracle's device-resident input size,
-// or 0 when it has none.
+// or 0 when it has none. A compacted sub-view reports its own (smaller)
+// slab: that is what a device build would actually ship.
 func (e edgeOracle) DeviceBytes() int64 {
 	if ds, ok := e.o.(backend.DeviceSizer); ok {
 		return ds.DeviceBytes()
@@ -38,6 +100,7 @@ func (e edgeOracle) DeviceBytes() int64 {
 }
 
 var (
-	_ backend.EdgeOracle  = edgeOracle{}
-	_ backend.DeviceSizer = edgeOracle{}
+	_ backend.EdgeOracle      = edgeOracle{}
+	_ backend.BatchEdgeOracle = edgeOracle{}
+	_ backend.DeviceSizer     = edgeOracle{}
 )

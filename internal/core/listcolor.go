@@ -3,8 +3,8 @@ package core
 import (
 	"math/rand"
 
-	"picasso/internal/bucket"
 	"picasso/internal/graph"
+	"picasso/internal/grow"
 )
 
 // listColorResult is the outcome of coloring one iteration's conflict graph.
@@ -14,30 +14,53 @@ type listColorResult struct {
 	colored int     // number of successfully colored conflict vertices
 }
 
-// mutableLists copies the candidate lists of the conflict vertices into a
-// mutable working form (only vertices with conflict degree > 0 need one;
-// unconflicted vertices are colored directly by the caller).
+// mutableLists holds the candidate lists of the conflict vertices in mutable
+// working form (only vertices with conflict degree > 0 need one; unconflicted
+// vertices are colored directly by the caller). Storage is one flat slab —
+// an L-wide slot per conflict vertex with a live-length counter — instead of
+// a slice header and a heap allocation per vertex: list removal is a
+// swap-with-last plus a counter decrement, and the whole structure recycles
+// through the arena.
 type mutableLists struct {
-	lists [][]int32
+	L     int
+	slab  []int32
+	slot  []int32 // per conflict-graph vertex id: L-wide slot index (offset = slot·L, computed in int so slabs past 2^31 entries stay addressable)
+	count []int32 // per conflict-graph vertex id: live list length
 }
 
-func newMutableLists(cl *colorLists, conflicted []int32) *mutableLists {
-	ml := &mutableLists{lists: make([][]int32, cl.n)}
-	for _, v := range conflicted {
-		src := cl.list(int(v))
-		ml.lists[v] = append(make([]int32, 0, len(src)), src...)
+// newMutableLists copies the conflicted vertices' candidate lists into the
+// arena's slab. start/count entries of unconflicted vertices are left
+// untouched (garbage): only conflict vertices are ever looked up.
+func newMutableLists(cl *colorLists, conflicted []int32, ar *Arena) *mutableLists {
+	ml := &ar.ml
+	ml.L = cl.L
+	ml.slab = grow.Slice(ml.slab, len(conflicted)*cl.L)
+	ml.slot = grow.Slice(ml.slot, cl.n)
+	ml.count = grow.Slice(ml.count, cl.n)
+	for slot, v := range conflicted {
+		off := slot * cl.L
+		copy(ml.slab[off:off+cl.L], cl.list(int(v)))
+		ml.slot[v] = int32(slot)
+		ml.count[v] = int32(cl.L)
 	}
 	return ml
+}
+
+// list returns vertex v's live candidate colors.
+func (ml *mutableLists) list(v int32) []int32 {
+	s := int(ml.slot[v]) * ml.L
+	return ml.slab[s : s+int(ml.count[v])]
 }
 
 // remove deletes color c from vertex v's list if present (swap-with-last;
 // order is irrelevant at this stage). Reports whether a removal happened.
 func (ml *mutableLists) remove(v int32, c int32) bool {
-	lst := ml.lists[v]
+	lst := ml.list(v)
+	n := len(lst)
 	for i, x := range lst {
 		if x == c {
-			lst[i] = lst[len(lst)-1]
-			ml.lists[v] = lst[:len(lst)-1]
+			lst[i] = lst[n-1]
+			ml.count[v] = int32(n - 1)
 			return true
 		}
 	}
@@ -50,20 +73,17 @@ func (ml *mutableLists) remove(v int32, c int32) bool {
 // from its list, and strike that color from all uncolored conflict
 // neighbors, re-bucketing them (or declaring them failed when their list
 // empties). Runtime O((|Vc|+|Ec|)·L) — the heap-free bound of §IV-B.
-func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng *rand.Rand) *listColorResult {
-	ml := newMutableLists(cl, conflicted)
-	assign := make([]int32, cl.n)
-	for i := range assign {
-		assign[i] = -1
-	}
-	b := bucket.New(cl.n, cl.L)
+func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng *rand.Rand, ar *Arena) *listColorResult {
+	ml := newMutableLists(cl, conflicted, ar)
+	assign := ar.assignBuf(cl.n)
+	b := ar.bucketArray(cl.n, cl.L)
 	for _, v := range conflicted {
-		b.Insert(v, len(ml.lists[v]))
+		b.Insert(v, int(ml.count[v]))
 	}
-	res := &listColorResult{assign: assign}
+	res := ar.result(assign)
 	for b.Len() > 0 {
 		v := b.PickFromMin(rng.Intn(b.MinBucketSize()))
-		lst := ml.lists[v]
+		lst := ml.list(v)
 		c := lst[rng.Intn(len(lst))]
 		assign[v] = c
 		b.Remove(v)
@@ -75,12 +95,12 @@ func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng
 			if !ml.remove(u, c) {
 				continue
 			}
-			if len(ml.lists[u]) == 0 {
+			if ml.count[u] == 0 {
 				b.Remove(u)
 				res.failed = append(res.failed, u)
 				continue
 			}
-			b.Update(u, len(ml.lists[u]))
+			b.Update(u, int(ml.count[u]))
 		}
 	}
 	return res
@@ -88,9 +108,11 @@ func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng
 
 // colorConflictStatic colors the conflict vertices in a fixed order (the
 // paper's "static order schemes", §IV-B): each vertex takes the first color
-// of its list not already held by a colored conflict neighbor.
-func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, strategy ListStrategy, rng *rand.Rand) *listColorResult {
-	order := append([]int32(nil), conflicted...)
+// of its list not already held by a colored conflict neighbor. The
+// taken-color set is the arena's palette stamp set — one epoch bump per
+// vertex instead of rebuilding a map on the hot path.
+func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, strategy ListStrategy, rng *rand.Rand, ar *Arena) *listColorResult {
+	order := ar.orderBuf(conflicted)
 	switch strategy {
 	case StaticNatural:
 		// ids ascending — conflicted is already in ascending id order.
@@ -99,22 +121,19 @@ func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, stra
 	case StaticRandom:
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
-	assign := make([]int32, cl.n)
-	for i := range assign {
-		assign[i] = -1
-	}
-	res := &listColorResult{assign: assign}
-	taken := make(map[int32]struct{}, cl.L)
+	assign := ar.assignBuf(cl.n)
+	res := ar.result(assign)
+	taken := &ar.stamps
 	for _, v := range order {
-		clear(taken)
+		taken.reset(cl.P)
 		for _, u := range gc.Neighbors(int(v)) {
 			if c := assign[u]; c != -1 {
-				taken[c] = struct{}{}
+				taken.add(c)
 			}
 		}
 		picked := int32(-1)
 		for _, c := range cl.list(int(v)) {
-			if _, bad := taken[c]; !bad {
+			if !taken.has(c) {
 				picked = c
 				break
 			}

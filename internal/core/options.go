@@ -101,6 +101,14 @@ type Options struct {
 	// return quickly. Long-running callers (the coloring service) use it to
 	// report live iteration/edge counts instead of only the final summary.
 	Progress func(IterStats)
+	// Arena, when non-nil, pools every iteration-scoped buffer of the run —
+	// candidate lists, kernel scratch, edge buffers, conflict CSR, coloring
+	// worklists — and retains them across runs, so a caller that colors
+	// repeatedly (a service worker, a tuning sweep) reaches a near-zero-
+	// allocation steady state. An Arena must not be shared between
+	// concurrent runs. When nil, the run uses a private arena (identical
+	// code path, fresh buffers).
+	Arena *Arena
 
 	// multiDevices distributes conflict-graph construction across a device
 	// group (set via ColorMultiDevice; the paper's multi-GPU future work).
@@ -144,11 +152,15 @@ func (o *Options) validate() error {
 	if o.MaxIterations < 0 {
 		return fmt.Errorf("core: negative max iterations")
 	}
+	if o.Arena == nil {
+		o.Arena = NewArena()
+	}
 	if o.Builder == nil {
 		b, err := backend.New(o.Backend, backend.Config{
 			Workers: o.Workers,
 			Device:  o.Device,
 			Devices: o.multiDevices,
+			Arena:   o.Arena.backendArena(),
 		})
 		if err != nil {
 			return fmt.Errorf("core: %w", err)

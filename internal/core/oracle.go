@@ -23,6 +23,26 @@ func (p PauliOracle) NumVertices() int { return p.Set.Len() }
 // HasEdge reports whether strings u and v commute (and differ).
 func (p PauliOracle) HasEdge(u, v int) bool { return p.Set.CommuteEdge(u, v) }
 
+// HasEdgeRow answers a whole candidate row in one pass over the packed
+// encodings (graph.RowOracle): out[k] = HasEdge(u, vs[k]), with row u's
+// slab slice hoisted once and candidates streamed over the words.
+func (p PauliOracle) HasEdgeRow(u int, vs []int32, out []bool) {
+	p.Set.CommuteRow(u, vs, out)
+}
+
+// SubView compacts the strings at the given indices into a contiguous
+// iteration-local set (graph.SubViewer): the returned oracle answers on
+// dense ids [0, len(vertices)) with no indirection table, which is what
+// keeps later, sparser iterations cache-resident. When reuse is a previous
+// SubView result its slab is recycled.
+func (p PauliOracle) SubView(vertices []int32, reuse graph.Oracle) graph.Oracle {
+	var dst *pauli.Set
+	if prev, ok := reuse.(PauliOracle); ok && prev.Set != p.Set {
+		dst = prev.Set
+	}
+	return PauliOracle{Set: p.Set.CompactInto(dst, vertices)}
+}
+
 // DeviceBytes reports the encoded-slab size copied to the device in the
 // GPU construction path (Algorithm 3 preprocessing).
 func (p PauliOracle) DeviceBytes() int64 { return p.Set.Bytes() }
@@ -45,6 +65,8 @@ func (a AnticommuteOracle) HasEdge(u, v int) bool {
 
 var (
 	_ graph.Oracle        = PauliOracle{}
+	_ graph.RowOracle     = PauliOracle{}
+	_ graph.SubViewer     = PauliOracle{}
 	_ graph.Oracle        = AnticommuteOracle{}
 	_ backend.DeviceSizer = PauliOracle{}
 )

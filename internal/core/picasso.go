@@ -52,11 +52,15 @@ type Result struct {
 
 // Color runs Picasso (Algorithm 1) on the oracle and returns a proper
 // coloring. The graph is consulted only through o.HasEdge — it is never
-// materialized.
+// materialized. All iteration-scoped buffers are drawn from the run's
+// arena (Options.Arena, or a private one), so only the returned Result
+// outlives the call; a reused arena makes repeated runs nearly
+// allocation-free.
 func Color(o graph.Oracle, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	ar := opts.Arena
 	tStart := time.Now()
 	n := o.NumVertices()
 	colors := graph.NewColoring(n)
@@ -66,11 +70,11 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 	opts.Tracker.Alloc(int64(n) * 4) // the persistent color array
 	defer opts.Tracker.Free(int64(n) * 4)
 
-	active := make([]int32, n)
+	active := ar.activeBuf(n)
 	for i := range active {
 		active[i] = int32(i)
 	}
-	activeBytes := int64(cap(active)) * 4
+	activeBytes := int64(len(active)) * 4
 	opts.Tracker.Alloc(activeBytes)
 
 	base := int32(0)
@@ -91,18 +95,25 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 
 		// Line 6: random candidate lists.
 		t0 := time.Now()
-		cl := assignRandomLists(m, P, L, rng)
+		cl := assignRandomLists(m, P, L, rng, ar)
 		st.AssignTime = time.Since(t0)
 		listRelease := opts.Tracker.Scoped(cl.Bytes())
 
-		// Line 7: conflict subgraph, via the configured backend.
+		// Line 7: conflict subgraph, via the configured backend. From the
+		// second iteration on, a SubViewer oracle is compacted into a
+		// contiguous iteration-local view (charged while it lives), so the
+		// kernel's batched row tests stream over dense vertex data instead
+		// of hopping through the active table.
 		t1 := time.Now()
-		eo := edgeOracle{o: o, active: active}
+		eo := newEdgeOracle(o, active, iter, ar)
+		subRelease := opts.Tracker.Scoped(subViewBytes(eo))
 		conf, bst, err := opts.Builder.Build(eo, cl, opts.Tracker)
 		if err != nil {
+			subRelease()
 			listRelease()
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
+		subRelease()
 		st.BuildTime = time.Since(t1)
 		st.ConflictEdges = conf.Edges
 		st.PairsTested = bst.PairsTested
@@ -117,7 +128,7 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 		// Lines 8–9: color unconflicted vertices directly, then the
 		// conflict graph.
 		t2 := time.Now()
-		conflicted := make([]int32, 0, m)
+		conflicted := ar.conflictedBuf()
 		for i := 0; i < m; i++ {
 			if conf.G.Degree(i) > 0 {
 				conflicted = append(conflicted, int32(i))
@@ -127,13 +138,14 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 				st.Unconflicted++
 			}
 		}
+		ar.retainConflicted(conflicted)
 		st.ConflictVertices = len(conflicted)
 
 		var lc *listColorResult
 		if opts.Strategy == DynamicBuckets {
-			lc = colorConflictDynamic(conf.G, cl, conflicted, rng)
+			lc = colorConflictDynamic(conf.G, cl, conflicted, rng, ar)
 		} else {
-			lc = colorConflictStatic(conf.G, cl, conflicted, opts.Strategy, rng)
+			lc = colorConflictStatic(conf.G, cl, conflicted, opts.Strategy, rng, ar)
 		}
 		for _, v := range conflicted {
 			if c := lc.assign[v]; c != -1 {
@@ -149,13 +161,9 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 		opts.Tracker.Free(bst.HostBytes)
 
 		// Line 11–12: recurse on the failed vertices with a fresh palette.
-		next := make([]int32, 0, len(lc.failed))
-		for _, v := range lc.failed {
-			next = append(next, active[v])
-		}
 		opts.Tracker.Free(activeBytes)
-		active = next
-		activeBytes = int64(cap(active)) * 4
+		active = ar.nextActive(lc.failed, active)
+		activeBytes = int64(len(active)) * 4
 		opts.Tracker.Alloc(activeBytes)
 
 		base += int32(P)
@@ -173,4 +181,14 @@ func Color(o graph.Oracle, opts Options) (*Result, error) {
 	res.TotalTime = time.Since(tStart)
 	res.HostPeakBytes = opts.Tracker.Peak()
 	return res, nil
+}
+
+// subViewBytes is the tracker charge for an iteration's compacted sub-view:
+// the view's vertex-data bytes when the oracle was compacted, 0 otherwise
+// (the input oracle's own storage is not an iteration-scoped structure).
+func subViewBytes(eo edgeOracle) int64 {
+	if !eo.compacted {
+		return 0
+	}
+	return eo.DeviceBytes()
 }

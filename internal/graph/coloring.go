@@ -18,14 +18,27 @@ func NewColoring(n int) Coloring {
 }
 
 // NumColors returns the number of distinct colors used (ignoring Uncolored).
+// Color ids are dense-ish (iteration palettes leave gaps but stay bounded by
+// MaxColor), so a bitset over [0, MaxColor] replaces the per-entry map — one
+// allocation instead of map growth on every run's summary.
 func (c Coloring) NumColors() int {
-	seen := make(map[int32]struct{})
+	maxc := c.MaxColor()
+	if maxc < 0 {
+		return 0
+	}
+	seen := make([]uint64, int(maxc)/64+1)
+	n := 0
 	for _, col := range c {
-		if col != Uncolored {
-			seen[col] = struct{}{}
+		if col == Uncolored {
+			continue
+		}
+		w, b := int(col)>>6, uint(col)&63
+		if seen[w]&(1<<b) == 0 {
+			seen[w] |= 1 << b
+			n++
 		}
 	}
-	return len(seen)
+	return n
 }
 
 // MaxColor returns the largest color id used, or -1 when none.

@@ -10,6 +10,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -67,9 +68,10 @@ func (g *CSR) AvgDegree() float64 {
 	return float64(len(g.Adj)) / float64(g.N)
 }
 
-// Bytes returns the backing-array footprint for the memory model.
+// Bytes returns the storage footprint for the memory model: live entries,
+// not capacity, so pooled backing arrays charge what this graph holds.
 func (g *CSR) Bytes() int64 {
-	return int64(cap(g.Offsets))*8 + int64(cap(g.Adj))*4
+	return int64(len(g.Offsets))*8 + int64(len(g.Adj))*4
 }
 
 // Validate checks structural invariants: monotone offsets, in-range sorted
@@ -170,9 +172,11 @@ func FromEdges(n int, edges [][2]int32) (*CSR, error) {
 }
 
 func (g *CSR) sortAdjacency() {
+	// slices.Sort, not sort.Slice: this runs once per vertex on every
+	// COO→CSR conversion and the interface-based sort allocates a closure
+	// and reflect header per call.
 	for u := 0; u < g.N; u++ {
-		a := g.Neighbors(u)
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		slices.Sort(g.Neighbors(u))
 	}
 }
 

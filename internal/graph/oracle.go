@@ -11,6 +11,30 @@ type Oracle interface {
 	HasEdge(u, v int) bool
 }
 
+// RowOracle is optionally implemented by oracles whose edge test can be
+// batched per row: HasEdgeRow answers HasEdge(u, vs[k]) into out[k] for every
+// candidate at once. Implementations hoist u's vertex data a single time and
+// stream the candidates over it, which is markedly cheaper than len(vs)
+// independent HasEdge calls when the per-vertex data is packed (e.g. the
+// Pauli-slab anticommutation words). len(out) must be at least len(vs).
+type RowOracle interface {
+	Oracle
+	HasEdgeRow(u int, vs []int32, out []bool)
+}
+
+// SubViewer is optionally implemented by oracles that can compact a subset
+// of their vertices into a standalone oracle over dense local ids
+// [0, len(vertices)): SubView(vertices)[i, j] must equal
+// HasEdge(vertices[i], vertices[j]). The iteration loop uses it to rebuild
+// its shrinking active set as contiguous vertex data, eliminating the
+// indirection table from the edge-test hot path. The reuse argument, when it
+// is a previous SubView result, lets implementations recycle that view's
+// storage; pass nil otherwise.
+type SubViewer interface {
+	Oracle
+	SubView(vertices []int32, reuse Oracle) Oracle
+}
+
 // Complement is the complement view of an oracle: edges become non-edges
 // and vice versa (self loops stay absent). Used to express "clique
 // partition of G = coloring of G'" (paper §II-B).

@@ -1,0 +1,29 @@
+// Package grow holds the two capacity-reusing slice helpers behind every
+// pooled buffer in the repository. Each call answers the one question a
+// pool site keeps re-deciding — reuse the backing array or reallocate —
+// in exactly one place, with the contents contract in the name: Slice
+// leaves the elements unspecified (callers overwrite), Zeroed hands back
+// all-zero elements. Centralizing the pattern keeps future pooled buffers
+// from hand-rolling a variant that forgets to clear a counter array.
+package grow
+
+// Slice returns buf resized to n elements, reusing its backing array when
+// it is large enough. Element contents are unspecified; callers must
+// overwrite every element they read.
+func Slice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// Zeroed returns buf resized to n zero-valued elements, reusing its backing
+// array when it is large enough.
+func Zeroed[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

@@ -1,6 +1,8 @@
 package parbase
 
 import (
+	"sync/atomic"
+
 	"picasso/internal/graph"
 	"picasso/internal/par"
 )
@@ -47,10 +49,15 @@ func SpeculativeEB(g *graph.CSR, seed uint64, workers int) (graph.Coloring, Stat
 
 	for len(vertexList) > 0 {
 		st.Rounds++
-		// Phase 1: speculative assignment for every worklist vertex.
+		// Phase 1: speculative assignment for every worklist vertex. The
+		// worklist is arbitrary, so adjacent vertices may assign
+		// concurrently — the speculation the algorithm is named for. The
+		// atomic accesses state that tolerance in Go memory-model terms
+		// (phase 2 repairs whatever stale reads produce); a plain write
+		// here is a data race under the race detector.
 		par.ForN(workers, len(vertexList), func(i int) {
 			u := vertexList[i]
-			colors[u] = smallestAvailable(g, colors, int(u), maxDeg)
+			atomic.StoreInt32(&colors[u], smallestAvailableSpeculative(g, colors, int(u), maxDeg))
 		})
 		// Phase 2: edge-based conflict detection. Writes to uncolor are
 		// idempotent (set to true), so parallel marking is race-free.
@@ -75,4 +82,27 @@ func SpeculativeEB(g *graph.CSR, seed uint64, workers int) (graph.Coloring, Stat
 		}
 	}
 	return colors, st
+}
+
+// smallestAvailableSpeculative mirrors smallestAvailable with atomic
+// neighbor reads, for the racing phase-1 assignment above. (JP keeps the
+// plain version: it only colors independent sets, so its reads never race.)
+func smallestAvailableSpeculative(g *graph.CSR, colors graph.Coloring, u, maxDeg int) int32 {
+	deg := g.Degree(u)
+	limit := deg + 1 // first-fit never needs more than deg+1 candidates
+	if limit > maxDeg+1 {
+		limit = maxDeg + 1
+	}
+	marks := make([]bool, limit)
+	for _, v := range g.Neighbors(u) {
+		if c := atomic.LoadInt32(&colors[v]); c >= 0 && int(c) < limit {
+			marks[c] = true
+		}
+	}
+	for c := 0; c < limit; c++ {
+		if !marks[c] {
+			return int32(c)
+		}
+	}
+	return int32(limit)
 }

@@ -2,9 +2,11 @@ package pauli
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"picasso/internal/bitvec"
+	"picasso/internal/grow"
 )
 
 // Set is a flat, cache-friendly collection of Pauli strings of equal length.
@@ -99,6 +101,55 @@ func (s *Set) CommuteEdge(i, j int) bool {
 	return i != j && !s.Anticommute(i, j)
 }
 
+// CommuteRow is the batched form of CommuteEdge: out[k] reports whether
+// (i, js[k]) is an edge of G'. Row i's slab slice is hoisted once and every
+// candidate streams directly over the packed words — no per-pair closure, no
+// per-pair bounds computation — which is what makes the conflict kernel's
+// row-batched oracle calls pay (paper §IV-A's encoding argument taken one
+// level up). len(out) must be at least len(js).
+func (s *Set) CommuteRow(i int, js []int32, out []bool) {
+	w := s.wordsPer
+	if w == 1 {
+		// Single-word strings (≤ 21 qubits, every Table II molecule): the
+		// whole test is one AND, one popcount.
+		x := s.slab[i]
+		for k, j := range js {
+			out[k] = int(j) != i && bits.OnesCount64(x&s.slab[j])&1 == 0
+		}
+		return
+	}
+	ri := s.slab[i*w : (i+1)*w]
+	for k, j := range js {
+		rj := s.slab[int(j)*w : int(j)*w+w]
+		var acc uint64
+		for t, x := range ri {
+			acc ^= x & rj[t]
+		}
+		out[k] = int(j) != i && bits.OnesCount64(acc)&1 == 0
+	}
+}
+
+// CompactInto overwrites dst with the strings at the given indices, reusing
+// dst's slab storage when it is large enough (pass nil to allocate a fresh
+// set). This is the iteration-local compaction behind the coloring core's
+// sub-view oracle: active vertices become contiguous slab rows, so later
+// iterations stream over dense memory instead of hopping through an
+// indirection table. Coefficients are not carried — the compacted view
+// exists only to answer (anti)commutation queries.
+func (s *Set) CompactInto(dst *Set, idx []int32) *Set {
+	if dst == nil {
+		dst = &Set{}
+	}
+	dst.n, dst.wordsPer = s.n, s.wordsPer
+	dst.coeffs = nil
+	w := s.wordsPer
+	dst.slab = grow.Slice(dst.slab, len(idx)*w)
+	for k, i := range idx {
+		copy(dst.slab[k*w:(k+1)*w], s.slab[int(i)*w:(int(i)+1)*w])
+	}
+	return dst
+}
+
 // CountComplementEdges enumerates all pairs and counts the edges of G'.
 // Quadratic: intended for dataset reporting (Table II), not the hot path.
 func (s *Set) CountComplementEdges() int64 {
@@ -137,11 +188,13 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
-// Bytes returns the memory footprint of the set's backing storage, used by
-// the memory-accounting model.
+// Bytes returns the memory footprint of the set's stored strings, used by
+// the memory-accounting model and device-budget sizing: live entries, not
+// capacity, so a compacted sub-view recycling a larger slab charges only
+// what it holds.
 func (s *Set) Bytes() int64 {
-	b := int64(cap(s.slab)) * 8
-	b += int64(cap(s.coeffs)) * 8
+	b := int64(len(s.slab)) * 8
+	b += int64(len(s.coeffs)) * 8
 	return b
 }
 

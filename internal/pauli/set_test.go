@@ -220,3 +220,88 @@ func TestSetBytes(t *testing.T) {
 		t.Fatalf("Bytes = %d too small", s.Bytes())
 	}
 }
+
+func TestCommuteRowMatchesCommuteEdge(t *testing.T) {
+	// The batched row kernel must agree with the per-pair test bit for bit,
+	// on both the single-word fast path (≤ 21 qubits) and multi-word slabs,
+	// including the i == j diagonal (never an edge).
+	rng := rand.New(rand.NewSource(11))
+	for _, qubits := range []int{4, 21, 22, 64} {
+		s := RandomSet(qubits, 120, rng)
+		js := make([]int32, s.Len())
+		for j := range js {
+			js[j] = int32(j)
+		}
+		out := make([]bool, len(js))
+		for i := 0; i < s.Len(); i++ {
+			s.CommuteRow(i, js, out)
+			for k, j := range js {
+				if want := s.CommuteEdge(i, int(j)); out[k] != want {
+					t.Fatalf("qubits=%d: CommuteRow(%d)[%d] = %v, CommuteEdge = %v",
+						qubits, i, j, out[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCommuteRowPartialCandidates(t *testing.T) {
+	// Arbitrary candidate subsets in arbitrary order, as the bucket kernel
+	// produces them.
+	rng := rand.New(rand.NewSource(12))
+	s := RandomSet(30, 80, rng)
+	for trial := 0; trial < 50; trial++ {
+		i := rng.Intn(s.Len())
+		js := make([]int32, 1+rng.Intn(20))
+		for k := range js {
+			js[k] = int32(rng.Intn(s.Len()))
+		}
+		out := make([]bool, len(js))
+		s.CommuteRow(i, js, out)
+		for k, j := range js {
+			if want := s.CommuteEdge(i, int(j)); out[k] != want {
+				t.Fatalf("trial %d: row %d candidate %d: got %v want %v", trial, i, j, out[k], want)
+			}
+		}
+	}
+}
+
+func TestCompactInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := RandomSet(25, 60, rng)
+	idx := []int32{3, 0, 59, 17, 17, 42}
+	sub := s.CompactInto(nil, idx)
+	if sub.Len() != len(idx) || sub.Qubits() != s.Qubits() {
+		t.Fatalf("compacted shape %d/%d", sub.Len(), sub.Qubits())
+	}
+	for k, i := range idx {
+		if sub.At(k).String() != s.At(int(i)).String() {
+			t.Fatalf("row %d: %s != source %d: %s", k, sub.At(k), i, s.At(int(i)))
+		}
+	}
+	// Adjacency through the compacted view matches the source pairs.
+	for a := range idx {
+		for b := range idx {
+			if got, want := sub.CommuteEdge(a, b), a != b && !s.Anticommute(int(idx[a]), int(idx[b])); got != want {
+				t.Fatalf("compacted edge (%d,%d) = %v, source = %v", a, b, got, want)
+			}
+		}
+	}
+	// Reuse: a second compaction into the same set must recycle the slab.
+	prevCap := cap(sub.slab)
+	sub2 := s.CompactInto(sub, idx[:3])
+	if sub2 != sub {
+		t.Fatal("CompactInto did not return the reused set")
+	}
+	if cap(sub2.slab) != prevCap {
+		t.Fatalf("slab reallocated: cap %d -> %d", prevCap, cap(sub2.slab))
+	}
+	if sub2.Len() != 3 {
+		t.Fatalf("reused length %d", sub2.Len())
+	}
+	for k := 0; k < 3; k++ {
+		if sub2.At(k).String() != s.At(int(idx[k])).String() {
+			t.Fatalf("reused row %d mismatch", k)
+		}
+	}
+}

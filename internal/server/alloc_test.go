@@ -1,0 +1,53 @@
+package server
+
+import (
+	"testing"
+
+	"picasso/internal/jobspec"
+)
+
+// resubmitAllocBudget bounds a warm resubmission of an identical job spec:
+// canonicalization, the id hash, the dedup map lookup and the LRU touch —
+// no recoloring, no buffers. The budget is intentionally small: a cache-hit
+// submission must never fall through to the coloring path.
+const resubmitAllocBudget = 32
+
+func TestWarmResubmissionAllocationsUnderBudget(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 8, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := jobspec.Spec{Random: "400:0.5", Seed: 3}
+	job, hit := submitSpec(t, s, spec)
+	if hit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	waitAllDone(t, s, []string{job.ID})
+
+	// Warm the resubmission path once (lazy handler state, map growth).
+	if _, hit := submitSpec(t, s, spec); !hit {
+		t.Fatal("resubmission missed the cache")
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		resub := spec
+		if err := resub.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		j, hit, err := s.Submit(resub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit || j.ID != job.ID {
+			t.Fatal("resubmission did not dedupe onto the finished job")
+		}
+		if _, ok := s.Status(job.ID); !ok {
+			t.Fatal("status lookup failed")
+		}
+	})
+	if avg > resubmitAllocBudget {
+		t.Fatalf("warm resubmission allocates %.0f objects, budget %d", avg, resubmitAllocBudget)
+	}
+}

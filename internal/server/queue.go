@@ -8,17 +8,22 @@ import (
 )
 
 // worker is one member of the bounded coloring pool: it drains the job
-// queue until Close closes it.
+// queue until Close closes it. Each worker owns one buffer arena for its
+// lifetime, so steady-state job traffic recolors inside pooled storage —
+// the arena grows to the worker's largest job and every later job of that
+// size or smaller allocates next to nothing.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	arena := picasso.NewArena()
 	for job := range s.queue {
-		s.run(job)
+		s.run(job, arena)
 	}
 }
 
 // run executes one job end to end, with panic isolation — a panicking
-// coloring run fails that job, not the worker.
-func (s *Server) run(job *Job) {
+// coloring run fails that job, not the worker. (The arena stays reusable
+// after a panic: every acquisition re-slices its buffer from scratch.)
+func (s *Server) run(job *Job, arena *picasso.Arena) {
 	s.mu.Lock()
 	job.State = StateRunning
 	job.StartedAt = time.Now()
@@ -32,7 +37,7 @@ func (s *Server) run(job *Job) {
 				err = fmt.Errorf("panic: %v", rec)
 			}
 		}()
-		return s.color(job)
+		return s.color(job, arena)
 	}()
 	elapsed := time.Since(t0)
 
@@ -55,12 +60,14 @@ func (s *Server) run(job *Job) {
 }
 
 // color materializes the job's input and runs the coloring, streaming
-// per-iteration statistics into the job's progress view.
-func (s *Server) color(job *Job) (*ResultSummary, [][]int, error) {
+// per-iteration statistics into the job's progress view. The coloring draws
+// all iteration-scoped buffers from the worker's arena.
+func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int, error) {
 	opts := job.Spec.Options()
 	if opts.Backend == "" {
 		opts.Backend = s.cfg.DefaultBackend
 	}
+	opts.Arena = arena
 	opts.Progress = func(st picasso.IterStats) {
 		s.mu.Lock()
 		job.Progress.Iterations = st.Iteration

@@ -86,6 +86,17 @@ type (
 	// BuildStats reports how one conflict-graph construction went (device
 	// residency, memory peaks, oracle consultations).
 	BuildStats = backend.Stats
+	// Arena pools every iteration-scoped buffer of a run (candidate lists,
+	// kernel scratch, edge buffers, conflict CSR, coloring worklists).
+	// Set Options.Arena to reuse one across runs — a caller that colors
+	// repeatedly reaches a near-zero-allocation steady state. Not safe for
+	// concurrent use: one arena per goroutine.
+	Arena = core.Arena
+	// BatchEdgeOracle is an edge oracle answering whole candidate rows at
+	// once — the extension point for custom oracles that can hoist a row's
+	// vertex data out of the per-pair test (see backend.AsBatch; plain
+	// EdgeOracles are adapted automatically).
+	BatchEdgeOracle = backend.BatchEdgeOracle
 )
 
 // Conflict-graph coloring strategies.
@@ -99,6 +110,16 @@ const (
 	// StaticRandom colors in a random order.
 	StaticRandom = core.StaticRandom
 )
+
+// NewArena returns an empty buffer arena for Options.Arena. Buffers grow to
+// the largest run seen and are retained, so a long-lived caller (service
+// worker, benchmark loop, tuning sweep) recolors with near-zero garbage:
+//
+//	arena := picasso.NewArena()
+//	opts := picasso.Normal(1)
+//	opts.Arena = arena
+//	for _, job := range jobs { res, _ := picasso.Color(job, opts); ... }
+func NewArena() *Arena { return core.NewArena() }
 
 // Normal returns the paper's "Norm." configuration: palette 12.5% of |V|,
 // α = 2 — the memory-optimal operating point.
