@@ -7,6 +7,8 @@
 package picasso_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -356,5 +358,45 @@ func BenchmarkPauliGrouping(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(res.NumColors), "groups")
 		}
+	}
+}
+
+// BenchmarkStreamShardSweep sweeps the streaming shard size on a fixed
+// instance and reports, per shard size, the tracked host peak alongside
+// wall time — the memory/time trade-off curve the streaming engine exists
+// for (CI publishes it as BENCH_stream.json). The one-shot engine runs as
+// the shard=0 baseline.
+func BenchmarkStreamShardSweep(b *testing.B) {
+	const n = 20000
+	o := picasso.RandomGraph(n, 0.5, 11)
+	run := func(b *testing.B, shard int) {
+		arena := picasso.NewArena()
+		for i := 0; i < b.N; i++ {
+			var tr picasso.MemoryTracker
+			opts := picasso.Normal(3)
+			opts.Tracker = &tr
+			opts.Arena = arena
+			var res *picasso.Result
+			var err error
+			if shard == 0 {
+				res, err = picasso.Color(o, opts)
+			} else {
+				opts.ShardSize = shard
+				res, err = picasso.Stream(context.Background(), o, opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(tr.Peak()), "peak-B")
+				b.ReportMetric(float64(res.NumColors), "colors")
+				b.ReportMetric(float64(res.Shards), "shards")
+				b.ReportMetric(float64(res.FixedPairsTested), "fixed-pairs")
+			}
+		}
+	}
+	b.Run("shard=0", func(b *testing.B) { run(b, 0) })
+	for _, shard := range []int{2500, 5000, 10000} {
+		b.Run(fmt.Sprintf("shard=%d", shard), func(b *testing.B) { run(b, shard) })
 	}
 }

@@ -6,13 +6,17 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/jobs              submit a job spec; 202 queued, 200 cache hit
-//	GET  /v1/jobs/{id}         status, live progress, result summary
-//	GET  /v1/jobs/{id}/groups  color classes / unitary groups (when done)
-//	GET  /v1/healthz           liveness
-//	GET  /v1/stats             lifetime counters
-//	GET  /v1/backends          registered conflict-build backends
-//	GET  /v1/instances         Table II instance names
+//	POST   /v1/jobs              submit a job spec; 202 queued, 200 cache hit
+//	GET    /v1/jobs/{id}         status, live progress, result summary
+//	DELETE /v1/jobs/{id}         cancel: queued jobs drop at once, running
+//	                             jobs stop at the engine's next stage boundary
+//	POST   /v1/jobs/{id}/append  color new Pauli strings against a finished
+//	                             job's frozen grouping (no recoloring)
+//	GET    /v1/jobs/{id}/groups  color classes / unitary groups (when done)
+//	GET    /v1/healthz           liveness
+//	GET    /v1/stats             lifetime counters
+//	GET    /v1/backends          registered conflict-build backends
+//	GET    /v1/instances         Table II instance names
 //
 // Example session:
 //
@@ -33,26 +37,42 @@ import (
 	"syscall"
 	"time"
 
+	"picasso/internal/jobspec"
 	"picasso/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("serve-workers", 0, "coloring worker pool size (0 = all cores)")
-		queue    = flag.Int("queue", 256, "max queued jobs before submissions get 503")
-		cache    = flag.Int("cache", 512, "finished jobs retained in the LRU result cache")
-		maxVerts = flag.Int("max-vertices", 1<<20, "reject jobs larger than this many vertices")
-		backend  = flag.String("backend", "", "default conflict-build backend for specs that leave it empty")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("serve-workers", 0, "coloring worker pool size (0 = all cores)")
+		queue      = flag.Int("queue", 256, "max queued jobs before submissions get 503")
+		cache      = flag.Int("cache", 512, "finished jobs retained in the LRU result cache")
+		cacheBytes = flag.String("cache-bytes", "256MiB", "approximate result bytes the LRU may pin")
+		maxVerts   = flag.Int("max-vertices", 1<<20, "reject jobs larger than this many vertices")
+		backend    = flag.String("backend", "", "default conflict-build backend for specs that leave it empty")
+		budget     = flag.String("budget", "", "default per-job host-memory budget for specs without one, e.g. 512MiB")
 	)
 	flag.Parse()
 
+	cacheB, err := jobspec.ParseBytes(*cacheBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "picasso-serve: -cache-bytes: %v\n", err)
+		os.Exit(1)
+	}
+	budgetB, err := jobspec.ParseBytes(*budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "picasso-serve: -budget: %v\n", err)
+		os.Exit(1)
+	}
+
 	srv, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		MaxVertices:    *maxVerts,
-		DefaultBackend: *backend,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          *cache,
+		CacheBytes:         cacheB,
+		MaxVertices:        *maxVerts,
+		DefaultBackend:     *backend,
+		DefaultBudgetBytes: budgetB,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)

@@ -12,6 +12,8 @@
 //	picasso -molecule "H6 3D sto3g" -mode aggressive -verify
 //	picasso -random 100000:0.5 -p 0.125 -alpha 2 -gpu 40e9
 //	picasso -strings paulis.txt -backend parallel -groups groups.txt
+//	picasso -random 200000:0.5 -budget 256MiB -verify   (streamed under a budget)
+//	picasso -strings paulis.txt -stream -shard 50000
 //
 // The same job description is accepted by the picasso-serve HTTP service
 // (cmd/picasso-serve); both front ends share internal/jobspec.
@@ -19,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +47,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores, 1 = sequential)")
 		gpu      = flag.Float64("gpu", 0, "simulated device budget in bytes (0 = CPU path)")
 		target   = flag.Int("target", 0, "grow molecule instances toward this term count (0 = Table II target)")
+		stream   = flag.Bool("stream", false, "color in shards with the partitioned streaming engine")
+		shard    = flag.Int("shard", 0, "streaming shard size (0 = derive from -budget; implies -stream)")
+		budget   = flag.String("budget", "", "host-memory budget, e.g. 512MiB or 2GB (implies -stream)")
 		verify   = flag.Bool("verify", false, "verify the coloring against the input graph")
 		groupsF  = flag.String("groups", "", "write unitary groups to this file (Pauli inputs)")
 		verbose  = flag.Bool("v", false, "print per-iteration statistics")
@@ -61,6 +67,9 @@ func main() {
 		Backend:  *backendF,
 		Seed:     *seed,
 		Workers:  *workers,
+		Stream:   *stream,
+		Shard:    *shard,
+		Budget:   *budget,
 	}
 	if *mode != jobspec.ModeCustom {
 		spec.PFrac, spec.Alpha = 0, 0
@@ -100,9 +109,14 @@ func main() {
 
 	t0 := time.Now()
 	var res *picasso.Result
-	if set != nil {
+	switch {
+	case set != nil && spec.Streamed():
+		res, err = picasso.StreamPauli(context.Background(), set, opts)
+	case set != nil:
 		res, err = picasso.ColorPauli(set, opts)
-	} else {
+	case spec.Streamed():
+		res, err = picasso.Stream(context.Background(), oracle, opts)
+	default:
 		res, err = picasso.Color(oracle, opts)
 	}
 	if err != nil {
@@ -120,6 +134,17 @@ func main() {
 		elapsed.Round(time.Millisecond), res.AssignTime.Round(time.Millisecond),
 		res.BuildTime.Round(time.Millisecond), res.ColorTime.Round(time.Millisecond))
 	fmt.Printf("host peak memory (tracked): %.2f MB\n", float64(res.HostPeakBytes)/1e6)
+	if res.Shards > 0 {
+		fmt.Printf("streamed: %d shards, %d cross-frontier pair tests\n", res.Shards, res.FixedPairsTested)
+	}
+	if b := spec.BudgetBytes(); b > 0 {
+		verdict := "respected"
+		if res.BudgetExceeded {
+			verdict = "EXCEEDED"
+		}
+		fmt.Printf("memory budget %s: %s (peak %.2f MB)\n",
+			jobspec.FormatBytes(b), verdict, float64(res.HostPeakBytes)/1e6)
+	}
 	if res.Fallback {
 		fmt.Println("note: iteration cap hit; remainder finished with singleton colors")
 	}

@@ -21,7 +21,8 @@ import (
 // per-build allocations.
 type Arena struct {
 	bk    *Buckets
-	cnt   []int64 // bucket counting/cursor scratch (palette-sized)
+	fb    *FixedBuckets // streaming fixed-color index (fixed.go)
+	cnt   []int64       // bucket counting/cursor scratch (palette-sized)
 	lanes []workerLane
 	bands []*bandState
 	calls []int64

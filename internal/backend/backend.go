@@ -20,6 +20,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -132,8 +133,25 @@ type ConflictBuilder interface {
 	Name() string
 	// Build materializes the conflict subgraph. The tracker receives host
 	// memory accounting; Stats.HostBytes is still allocated when Build
-	// returns and is released by the caller.
-	Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error)
+	// returns and is released by the caller. Builders honor ctx at their
+	// internal stage boundaries (index build, row scan, CSR conversion) and
+	// return ctx.Err() when cancelled — partial work is discarded, never
+	// returned.
+	Build(ctx context.Context, o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error)
+}
+
+// Cancelled is the builders' (and the fixed-pass kernel's) non-blocking
+// cancellation probe, checked at stage boundaries. A nil ctx never cancels.
+func Cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Config carries the execution resources a factory may need. Factories

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -113,7 +114,7 @@ func TestBuildersMatchAllPairsReference(t *testing.T) {
 		}
 		for name, b := range testBuilders(t) {
 			var tr memtrack.Tracker
-			cg, st, err := b.Build(o, lists, &tr)
+			cg, st, err := b.Build(context.Background(), o, lists, &tr)
 			if err != nil {
 				t.Fatalf("case %d %s: %v", ci, name, err)
 			}
@@ -155,7 +156,7 @@ func TestOracleCallCountMatchesSharingPairs(t *testing.T) {
 	}
 	o := testOracle{graph.RandomOracle{N: 150, P: 0.5, Seed: 5}}
 	for name, b := range testBuilders(t) {
-		_, st, err := b.Build(o, lists, nil)
+		_, st, err := b.Build(context.Background(), o, lists, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -268,7 +269,7 @@ func TestDeviceOOMPropagates(t *testing.T) {
 		},
 	} {
 		b := mk()
-		_, _, err := b.Build(o, lists, nil)
+		_, _, err := b.Build(context.Background(), o, lists, nil)
 		if err == nil {
 			t.Fatalf("%s: tiny budget accepted", b.Name())
 		}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestBatchOracleMatchesPerPairAcrossBuilders(t *testing.T) {
 	want := sortedEdges(t, refCG)
 	for name, b := range testBuilders(t) {
 		calls := new(atomic.Int64)
-		cg, _, err := b.Build(batchTestOracle{o: o, rowCall: calls}, lists, nil)
+		cg, _, err := b.Build(context.Background(), batchTestOracle{o: o, rowCall: calls}, lists, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -112,11 +113,11 @@ func TestArenaReuseKeepsEdgeSetsIdentical(t *testing.T) {
 			for si, sh := range shapes {
 				o := testOracle{graph.RandomOracle{N: sh.n, P: sh.density, Seed: uint64(sh.seed)}}
 				lists := newTestLists(sh.n, sh.P, sh.L, sh.seed)
-				wantCG, wantSt, err := cold.Build(o, lists, nil)
+				wantCG, wantSt, err := cold.Build(context.Background(), o, lists, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
-				gotCG, gotSt, err := warm.Build(o, lists, nil)
+				gotCG, gotSt, err := warm.Build(context.Background(), o, lists, nil)
 				if err != nil {
 					t.Fatalf("%s round %d shape %d: %v", backendName, round, si, err)
 				}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,10 +36,10 @@ func BenchmarkConflictBuild(b *testing.B) {
 			return ReferenceAllPairs(o, lists, nil)
 		})
 		run("bucketed", func() (*ConflictGraph, Stats, error) {
-			return seqBuilder{}.Build(o, lists, nil)
+			return seqBuilder{}.Build(context.Background(), o, lists, nil)
 		})
 		run("bucketed-parallel", func() (*ConflictGraph, Stats, error) {
-			return parBuilder{}.Build(o, lists, nil)
+			return parBuilder{}.Build(context.Background(), o, lists, nil)
 		})
 	}
 }

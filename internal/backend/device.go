@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -28,14 +29,17 @@ type gpuBuilder struct {
 
 func (gpuBuilder) Name() string { return "gpu" }
 
-func (g gpuBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+func (g gpuBuilder) Build(ctx context.Context, o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 	m := o.Len()
 	a := g.arena
 	bk := NewBucketsIn(a, lists)
 	release := tr.Scoped(bk.Bytes())
 	defer release()
 
-	scan, err := deviceScan(g.dev, o, lists, bk, 0, m, true, a.band(0))
+	scan, err := deviceScan(ctx, g.dev, o, lists, bk, 0, m, true, a.band(0))
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -89,8 +93,10 @@ type scanResult struct {
 // kernel-local shared memory outside the budget model, like the dense
 // kernel's registers were. The band arena (nil = fresh buffers) pools the
 // host-side mirrors of the device allocations across scans; bands must use
-// distinct arenas when scanning concurrently.
-func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, hi int, decideCSR bool, ba *bandState) (scanResult, error) {
+// distinct arenas when scanning concurrently. Cancellation (ctx) is checked
+// before the kernel launch and between worker chunks: a cancelled scan
+// returns ctx.Err() with every device allocation released.
+func deviceScan(ctx context.Context, dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, hi int, decideCSR bool, ba *bandState) (scanResult, error) {
 	m := o.Len()
 	dev.ResetPeak()
 
@@ -158,9 +164,15 @@ func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, 
 	}
 	ba.reserveScratches(workers, m)
 	bo := AsBatch(o)
+	if err := Cancelled(ctx); err != nil {
+		return scanResult{}, err
+	}
 	var cursor, calls atomic.Int64
 	var overflow atomic.Bool
 	dev.LaunchChunked(hi-lo, func(clo, chi, w int) {
+		if Cancelled(ctx) != nil {
+			return
+		}
 		s := ba.scratch(w, m)
 		var localCalls int64
 		for i := lo + clo; i < lo+chi; i++ {
@@ -205,6 +217,9 @@ func deviceScan(dev *gpusim.Device, o EdgeOracle, lists Lists, bk *Buckets, lo, 
 		}
 		calls.Add(localCalls)
 	})
+	if err := Cancelled(ctx); err != nil {
+		return scanResult{}, err
+	}
 	if overflow.Load() {
 		return scanResult{}, &gpusim.ErrOutOfMemory{
 			Device:    dev.Name,

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -35,11 +36,14 @@ type multiBuilder struct {
 
 func (multiBuilder) Name() string { return "multigpu" }
 
-func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+func (b multiBuilder) Build(ctx context.Context, o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
 	if len(b.devs) == 1 {
 		// A singleton group is exactly the single-device path, including
 		// its CSR-on-device decision.
-		return gpuBuilder{dev: b.devs[0], arena: b.arena}.Build(o, lists, tr)
+		return gpuBuilder{dev: b.devs[0], arena: b.arena}.Build(ctx, o, lists, tr)
+	}
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
 	}
 	m := o.Len()
 	a := b.arena
@@ -66,10 +70,13 @@ func (b multiBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*C
 		wg.Add(1)
 		go func(d, lo, hi int) {
 			defer wg.Done()
-			results[d], errs[d] = deviceScan(b.devs[d], o, lists, bk, lo, hi, false, bands[d])
+			results[d], errs[d] = deviceScan(ctx, b.devs[d], o, lists, bk, lo, hi, false, bands[d])
 		}(d, lo, hi)
 	}
 	wg.Wait()
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 
 	merged := a.mainCOO(m)
 	var st Stats

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+
 	"picasso/internal/graph"
 	"picasso/internal/memtrack"
 	"picasso/internal/par"
@@ -25,7 +27,10 @@ type parBuilder struct {
 
 func (parBuilder) Name() string { return "parallel" }
 
-func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+func (b parBuilder) Build(ctx context.Context, o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 	m := o.Len()
 	workers := b.workers
 	if workers <= 0 {
@@ -38,6 +43,9 @@ func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 	// memory model should say so.
 	release := tr.Scoped(bk.Bytes() + int64(workers)*ScratchBytes(m))
 	defer release()
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 
 	// Lanes are reserved serially here; inside the weighted loop each worker
 	// touches only its own lane, so arena reuse stays race-free.
@@ -46,11 +54,17 @@ func (b parBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 	locals := make([]*graph.COO, workers)
 	calls := a.callsBuf(workers)
 	par.ForWeightedChunks(workers, bk.RowWeight, func(lo, hi, w int) {
+		if Cancelled(ctx) != nil {
+			return
+		}
 		s := a.scratch(w, m)
 		local := a.laneCOO(w, m)
 		calls[w] = bk.scanRows(bo, lists, lo, hi, s, local)
 		locals[w] = local
 	})
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 
 	coo := a.mainCOO(m)
 	var st Stats

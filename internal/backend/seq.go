@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+
 	"picasso/internal/memtrack"
 )
 
@@ -16,7 +18,10 @@ type seqBuilder struct{ arena *Arena }
 
 func (seqBuilder) Name() string { return "sequential" }
 
-func (b seqBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+func (b seqBuilder) Build(ctx context.Context, o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*ConflictGraph, Stats, error) {
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 	m := o.Len()
 	a := b.arena
 	bk := NewBucketsIn(a, lists)
@@ -24,7 +29,13 @@ func (b seqBuilder) Build(o EdgeOracle, lists Lists, tr *memtrack.Tracker) (*Con
 	s := a.scratch(0, m)
 	release := tr.Scoped(bk.Bytes() + s.Bytes())
 	defer release()
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 	coo := a.mainCOO(m)
 	st := Stats{PairsTested: bk.scanRows(AsBatch(o), lists, 0, m, s, coo)}
+	if err := Cancelled(ctx); err != nil {
+		return nil, Stats{}, err
+	}
 	return finishCOOIn(a, coo, tr, st)
 }

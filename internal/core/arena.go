@@ -35,6 +35,14 @@ type Arena struct {
 	bkt        *bucket.Array
 	lc         listColorResult
 	sub        graph.Oracle // retained SubViewer compaction
+
+	// Streaming-only buffers: the fixed-color pass's forbidden mask and
+	// frontier-chunk id/color staging, and the direct-failure worklist for
+	// unconflicted vertices whose whole candidate list was pruned.
+	forbid       []bool
+	fixedIDs     []int32
+	fixedColors  []int32
+	directFailed []int32
 }
 
 // NewArena returns an empty arena; buffers grow on first use.
@@ -94,6 +102,30 @@ func (a *Arena) result(assign []int32) *listColorResult {
 	a.lc.colored = 0
 	return &a.lc
 }
+
+// forbidBuf returns the zeroed per-list-slot forbidden mask for n·L slots.
+func (a *Arena) forbidBuf(slots int) []bool {
+	a.forbid = grow.Zeroed(a.forbid, slots)
+	return a.forbid
+}
+
+// fixedBufs returns the emptied frontier-chunk staging buffers; callers
+// append ids/colors in lockstep and hand the grown slices back.
+func (a *Arena) fixedBufs() ([]int32, []int32) {
+	return a.fixedIDs[:0], a.fixedColors[:0]
+}
+
+// retainFixed stores the grown staging buffers for the next chunk.
+func (a *Arena) retainFixed(ids, colors []int32) {
+	a.fixedIDs, a.fixedColors = ids, colors
+}
+
+// directFailedBuf returns the emptied direct-failure worklist; callers
+// append and hand the grown slice back via retainDirectFailed.
+func (a *Arena) directFailedBuf() []int32 { return a.directFailed[:0] }
+
+// retainDirectFailed stores the grown worklist backing.
+func (a *Arena) retainDirectFailed(buf []int32) { a.directFailed = buf }
 
 // bucketArray returns Algorithm 2's bucket structure for n vertices and
 // keys [0, maxKey].

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"picasso/internal/backend"
@@ -118,9 +119,9 @@ type countingBuilder struct {
 
 func (c *countingBuilder) Name() string { return "counting" }
 
-func (c *countingBuilder) Build(o backend.EdgeOracle, lists backend.Lists, tr *memtrack.Tracker) (*backend.ConflictGraph, backend.Stats, error) {
+func (c *countingBuilder) Build(ctx context.Context, o backend.EdgeOracle, lists backend.Lists, tr *memtrack.Tracker) (*backend.ConflictGraph, backend.Stats, error) {
 	c.builds++
-	return c.inner.Build(o, lists, tr)
+	return c.inner.Build(ctx, o, lists, tr)
 }
 
 func TestPairsTestedReported(t *testing.T) {

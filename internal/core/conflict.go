@@ -33,13 +33,15 @@ type edgeOracle struct {
 	compacted bool            // o is an iteration-local sub-view, not the input
 }
 
-// newEdgeOracle builds iteration iter's local view over the active
-// vertices. Iteration 1 is always the identity view; later iterations
+// newEdgeOracle builds the iteration's local view over the active vertices.
+// An identity unit (the active set is exactly [0, n) in order — every first
+// iteration of a whole-graph run) needs no mapping at all; other iterations
 // compact SubViewer oracles into a contiguous sub-view held (and recycled)
-// by the arena, and fall back to the mapping table otherwise.
-func newEdgeOracle(o graph.Oracle, active []int32, iter int, ar *Arena) edgeOracle {
+// by the arena, and fall back to the mapping table otherwise. Shard first
+// iterations over RangeViewer oracles take newRangeEdgeOracle instead.
+func newEdgeOracle(o graph.Oracle, active []int32, identity bool, ar *Arena) edgeOracle {
 	eo := edgeOracle{o: o, active: active}
-	if iter == 1 {
+	if identity {
 		eo.active = nil
 	} else if sv, ok := o.(graph.SubViewer); ok {
 		ar.sub = sv.SubView(active, ar.sub)
@@ -51,6 +53,51 @@ func newEdgeOracle(o graph.Oracle, active []int32, iter int, ar *Arena) edgeOrac
 		}
 	}
 	return eo
+}
+
+// newRangeEdgeOracle wraps a RangeViewer's zero-copy shard view: local ids
+// are the view's own ids, rows batch straight into the view's row kernel,
+// and — the view sharing the input's storage — no iteration-scoped bytes
+// are charged (compacted stays false). The view is deliberately NOT parked
+// in the arena's sub-view slot: that slot's storage is recycled by
+// CompactInto, and recycling a shared-slab view would scribble over the
+// input set.
+func newRangeEdgeOracle(view graph.Oracle) edgeOracle {
+	eo := edgeOracle{o: view}
+	if ro, ok := view.(graph.RowOracle); ok {
+		eo.row = ro
+	}
+	return eo
+}
+
+// crossOracle answers adjacency between an active-local row and *global*
+// fixed-frontier ids (backend.CrossOracle): the streaming fixed-color pass
+// tests shard candidates against the already-colored prefix through it.
+// Both sides live in the input oracle's id space, so the oracle's batched
+// row kernel applies directly when it has one.
+type crossOracle struct {
+	o      graph.Oracle
+	row    graph.RowOracle // non-nil when o batches rows
+	active []int32         // active-local id → global id
+}
+
+func newCrossOracle(o graph.Oracle, active []int32) crossOracle {
+	co := crossOracle{o: o, active: active}
+	if ro, ok := o.(graph.RowOracle); ok {
+		co.row = ro
+	}
+	return co
+}
+
+func (c crossOracle) HasCross(i int, fixed []int32, out []bool) {
+	u := int(c.active[i])
+	if c.row != nil {
+		c.row.HasEdgeRow(u, fixed, out)
+		return
+	}
+	for k, f := range fixed {
+		out[k] = c.o.HasEdge(u, int(f))
+	}
 }
 
 // Len returns the active-vertex count m.
@@ -103,4 +150,5 @@ var (
 	_ backend.EdgeOracle      = edgeOracle{}
 	_ backend.BatchEdgeOracle = edgeOracle{}
 	_ backend.DeviceSizer     = edgeOracle{}
+	_ backend.CrossOracle     = crossOracle{}
 )

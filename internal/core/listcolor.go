@@ -29,9 +29,12 @@ type mutableLists struct {
 }
 
 // newMutableLists copies the conflicted vertices' candidate lists into the
-// arena's slab. start/count entries of unconflicted vertices are left
-// untouched (garbage): only conflict vertices are ever looked up.
-func newMutableLists(cl *colorLists, conflicted []int32, ar *Arena) *mutableLists {
+// arena's slab, skipping the slots a streamed run's fixed-color pass marked
+// forbidden (nil = keep everything, the one-shot path). start/count entries
+// of unconflicted vertices are left untouched (garbage): only conflict
+// vertices are ever looked up. A vertex whose whole list was forbidden ends
+// up with count 0 — the callers route it straight to the failed set.
+func newMutableLists(cl *colorLists, conflicted []int32, forbidden []bool, ar *Arena) *mutableLists {
 	ml := &ar.ml
 	ml.L = cl.L
 	ml.slab = grow.Slice(ml.slab, len(conflicted)*cl.L)
@@ -39,9 +42,21 @@ func newMutableLists(cl *colorLists, conflicted []int32, ar *Arena) *mutableList
 	ml.count = grow.Slice(ml.count, cl.n)
 	for slot, v := range conflicted {
 		off := slot * cl.L
-		copy(ml.slab[off:off+cl.L], cl.list(int(v)))
+		if forbidden == nil {
+			copy(ml.slab[off:off+cl.L], cl.list(int(v)))
+			ml.slot[v] = int32(slot)
+			ml.count[v] = int32(cl.L)
+			continue
+		}
+		live := 0
+		for k, c := range cl.list(int(v)) {
+			if !forbidden[int(v)*cl.L+k] {
+				ml.slab[off+live] = c
+				live++
+			}
+		}
 		ml.slot[v] = int32(slot)
-		ml.count[v] = int32(cl.L)
+		ml.count[v] = int32(live)
 	}
 	return ml
 }
@@ -72,15 +87,21 @@ func (ml *mutableLists) remove(v int32, c int32) bool {
 // the lowest (most constrained) bucket, give it a uniformly random color
 // from its list, and strike that color from all uncolored conflict
 // neighbors, re-bucketing them (or declaring them failed when their list
-// empties). Runtime O((|Vc|+|Ec|)·L) — the heap-free bound of §IV-B.
-func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng *rand.Rand, ar *Arena) *listColorResult {
-	ml := newMutableLists(cl, conflicted, ar)
+// empties). Runtime O((|Vc|+|Ec|)·L) — the heap-free bound of §IV-B. In
+// streamed runs the forbidden mask pre-strikes colors held by adjacent
+// fixed-frontier vertices; a vertex left with nothing fails immediately.
+func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, rng *rand.Rand, ar *Arena) *listColorResult {
+	ml := newMutableLists(cl, conflicted, forbidden, ar)
 	assign := ar.assignBuf(cl.n)
 	b := ar.bucketArray(cl.n, cl.L)
+	res := ar.result(assign)
 	for _, v := range conflicted {
+		if ml.count[v] == 0 {
+			res.failed = append(res.failed, v)
+			continue
+		}
 		b.Insert(v, int(ml.count[v]))
 	}
-	res := ar.result(assign)
 	for b.Len() > 0 {
 		v := b.PickFromMin(rng.Intn(b.MinBucketSize()))
 		lst := ml.list(v)
@@ -108,10 +129,11 @@ func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, rng
 
 // colorConflictStatic colors the conflict vertices in a fixed order (the
 // paper's "static order schemes", §IV-B): each vertex takes the first color
-// of its list not already held by a colored conflict neighbor. The
-// taken-color set is the arena's palette stamp set — one epoch bump per
-// vertex instead of rebuilding a map on the hot path.
-func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, strategy ListStrategy, rng *rand.Rand, ar *Arena) *listColorResult {
+// of its list not already held by a colored conflict neighbor (nor, in
+// streamed runs, forbidden by the fixed-color pass). The taken-color set is
+// the arena's palette stamp set — one epoch bump per vertex instead of
+// rebuilding a map on the hot path.
+func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, strategy ListStrategy, rng *rand.Rand, ar *Arena) *listColorResult {
 	order := ar.orderBuf(conflicted)
 	switch strategy {
 	case StaticNatural:
@@ -132,7 +154,10 @@ func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, stra
 			}
 		}
 		picked := int32(-1)
-		for _, c := range cl.list(int(v)) {
+		for k, c := range cl.list(int(v)) {
+			if forbidden != nil && forbidden[int(v)*cl.L+k] {
+				continue
+			}
 			if !taken.has(c) {
 				picked = c
 				break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"picasso/internal/gpusim"
@@ -23,4 +24,17 @@ func ColorMultiDevice(o graph.Oracle, opts Options, devs []*gpusim.Device) (*Res
 	opts.Device = nil
 	opts.multiDevices = devs
 	return Color(o, opts)
+}
+
+// StreamMultiDevice is Stream with conflict-graph construction distributed
+// across a device group, the streaming analog of ColorMultiDevice: each
+// shard iteration's row space is band-split over the devices, while the
+// fixed-color pass (a host kernel) and the coloring itself are unchanged.
+func StreamMultiDevice(ctx context.Context, o graph.Oracle, opts Options, devs []*gpusim.Device) (*Result, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: StreamMultiDevice needs at least one device")
+	}
+	opts.Device = nil
+	opts.multiDevices = devs
+	return Stream(ctx, o, opts)
 }

@@ -29,6 +29,28 @@
 // dense scan (the oracle-call counts are similar — a dense scan
 // short-circuits on the list intersection — the savings are the per-pair
 // intersection tests); IterStats.PairsTested reports the realized count.
+//
+// # The engine seam and the RunState lifecycle
+//
+// The iteration loop is a staged engine (engine.go): assign → build →
+// color → compact, with a cancellation check at every stage boundary —
+// Color/ColorContext run it over the whole vertex set as one unit, Stream
+// runs it shard by shard against the fixed colors of the already-colored
+// prefix (stream.go), and Extend points the same machinery at newly
+// appended vertices. Observers see the seam through two Options hooks:
+// Progress receives each iteration's IterStats, and Checkpoint receives a
+// RunState — the serializable snapshot of the engine (iteration, palette
+// base, active ids, partial coloring, shard cursors).
+//
+// A RunState moves through three stations. It is *captured* at every
+// completed shard of a streamed run (a full copy of the partial coloring,
+// so capture is deliberately per-shard, not per-iteration); every captured
+// snapshot is *resumable* (RunState.Resumable — no unit in flight,
+// frontier registered); and ResumeStream *restores* a snapshot into a
+// fresh engine, which continues deterministically because each shard
+// unit's randomness is derived from (Seed, shard start), never from run
+// history. Snapshots own their slices, so holding or serializing one is
+// always safe.
 package core
 
 import (
@@ -110,6 +132,28 @@ type Options struct {
 	// code path, fresh buffers).
 	Arena *Arena
 
+	// ShardSize, when > 0, fixes the streaming shard size: Stream colors the
+	// vertex set B vertices at a time, each shard pruned against the fixed
+	// colors of the already-colored prefix, so iteration-scoped memory
+	// scales with B instead of n. 0 lets Stream derive the shard size from
+	// MemoryBudgetBytes (or a size-based default). Ignored by Color.
+	ShardSize int
+	// MemoryBudgetBytes, when > 0, arms the run's tracker with a host-memory
+	// budget. Stream sizes its shards to keep the tracked peak under it,
+	// shrinking after any crossing (graceful degradation — the run completes
+	// rather than OOMing, and Result.BudgetExceeded reports any violation).
+	// When no Tracker is supplied, a private one is created so the budget is
+	// always enforced against real accounting.
+	MemoryBudgetBytes int64
+	// Checkpoint, when non-nil, receives a RunState snapshot after each
+	// completed shard of a streamed run — always a resumable boundary
+	// (Resumable() == true), so every snapshot can be serialized and later
+	// passed to ResumeStream. Snapshots own their slices (a full copy of
+	// the coloring, which is why they are per-shard, not per-iteration;
+	// per-iteration observability is Progress's job). One-shot runs never
+	// checkpoint. Called synchronously from the coloring goroutine.
+	Checkpoint func(RunState)
+
 	// multiDevices distributes conflict-graph construction across a device
 	// group (set via ColorMultiDevice; the paper's multi-GPU future work).
 	multiDevices []*gpusim.Device
@@ -151,6 +195,17 @@ func (o *Options) validate() error {
 	}
 	if o.MaxIterations < 0 {
 		return fmt.Errorf("core: negative max iterations")
+	}
+	if o.ShardSize < 0 {
+		return fmt.Errorf("core: negative shard size %d", o.ShardSize)
+	}
+	if o.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("core: negative memory budget %d", o.MemoryBudgetBytes)
+	}
+	if o.MemoryBudgetBytes > 0 && o.Tracker == nil {
+		// A budget without a meter is unenforceable: give the run a private
+		// tracker so shard sizing and Result.BudgetExceeded work anyway.
+		o.Tracker = &memtrack.Tracker{}
 	}
 	if o.Arena == nil {
 		o.Arena = NewArena()

@@ -43,6 +43,13 @@ func (p PauliOracle) SubView(vertices []int32, reuse graph.Oracle) graph.Oracle 
 	return PauliOracle{Set: p.Set.CompactInto(dst, vertices)}
 }
 
+// RangeView exposes strings [lo, hi) as a standalone oracle over local ids
+// (graph.RangeViewer) sharing the packed slab — the zero-copy shard
+// sub-view the streaming engine uses for each shard's first iteration.
+func (p PauliOracle) RangeView(lo, hi int) graph.Oracle {
+	return PauliOracle{Set: p.Set.View(lo, hi)}
+}
+
 // DeviceBytes reports the encoded-slab size copied to the device in the
 // GPU construction path (Algorithm 3 preprocessing).
 func (p PauliOracle) DeviceBytes() int64 { return p.Set.Bytes() }
@@ -67,6 +74,7 @@ var (
 	_ graph.Oracle        = PauliOracle{}
 	_ graph.RowOracle     = PauliOracle{}
 	_ graph.SubViewer     = PauliOracle{}
+	_ graph.RangeViewer   = PauliOracle{}
 	_ graph.Oracle        = AnticommuteOracle{}
 	_ backend.DeviceSizer = PauliOracle{}
 )

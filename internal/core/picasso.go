@@ -1,8 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 	"time"
 
 	"picasso/internal/graph"
@@ -10,20 +9,23 @@ import (
 
 // IterStats records one iteration of Algorithm 1.
 type IterStats struct {
-	Iteration        int           // ℓ (1-based)
+	Iteration        int           // ℓ (1-based; per shard in streamed runs)
+	Shard            int           // 1-based shard ordinal (0 for one-shot runs)
 	ActiveVertices   int           // |V| entering the iteration
 	Palette          int           // Pℓ
 	ListSize         int           // Lℓ
 	ConflictVertices int           // |Vc|
 	ConflictEdges    int64         // |Ec|
 	PairsTested      int64         // candidate pairs the build examined (vs m(m−1)/2 all-pairs)
+	FixedPairsTested int64         // cross-frontier adjacency tests of the streaming fixed-color pass
 	Unconflicted     int           // vertices colored directly (line 8)
 	Colored          int           // total vertices colored this iteration
-	Failed           int           // |Vu| carried to the next iteration
+	Failed           int           // |Vu| carried to the next iteration (unit-local)
+	Uncolored        int           // vertices still uncolored across the whole input (= Failed for one-shot runs; adds unreached shards when streaming)
 	CSROnDevice      bool          // Alg. 3 branch taken (GPU runs only)
 	DevicePeakBytes  int64         // device peak during construction
 	AssignTime       time.Duration // list assignment (line 6)
-	BuildTime        time.Duration // conflict-graph construction (line 7)
+	BuildTime        time.Duration // conflict-graph construction + fixed-color pass (line 7)
 	ColorTime        time.Duration // lines 8–9
 }
 
@@ -41,9 +43,20 @@ type Result struct {
 	// examined — the work the palette-bucket kernel actually spent, versus
 	// the Σ m(m−1)/2 pair tests of an all-pairs scan.
 	TotalPairsTested int64
+	// FixedPairsTested sums the cross-frontier adjacency tests the
+	// streaming fixed-color pass spent pruning shard candidates against
+	// already-fixed colors (0 for one-shot runs).
+	FixedPairsTested int64
+	// Shards counts the completed stream units (0 for one-shot runs).
+	Shards int
 	// Fallback reports that MaxIterations was hit and the remaining
 	// vertices were finished with fresh singleton colors.
 	Fallback bool
+	// BudgetExceeded reports that the tracked peak crossed the configured
+	// MemoryBudgetBytes at some point. The run still completes — the
+	// streaming engine degrades its shard size instead of failing — but the
+	// violation is never silent.
+	BudgetExceeded bool
 	// Timing breakdown (the components of the paper's Fig. 3).
 	AssignTime, BuildTime, ColorTime, TotalTime time.Duration
 	// HostPeakBytes is the tracker's peak if one was supplied.
@@ -57,135 +70,37 @@ type Result struct {
 // outlives the call; a reused arena makes repeated runs nearly
 // allocation-free.
 func Color(o graph.Oracle, opts Options) (*Result, error) {
+	return ColorContext(context.Background(), o, opts)
+}
+
+// ColorContext is Color with cancellation: ctx is honored at every stage
+// boundary of the engine (list assignment, conflict construction, conflict
+// coloring, compaction) and inside the conflict builders, so a cancelled
+// run returns ctx's error within one stage. The whole vertex set is one
+// unit; see Stream for the sharded, budget-governed mode.
+func ColorContext(ctx context.Context, o graph.Oracle, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	ar := opts.Arena
-	tStart := time.Now()
-	n := o.NumVertices()
-	colors := graph.NewColoring(n)
-	res := &Result{Colors: colors}
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	opts.Tracker.Alloc(int64(n) * 4) // the persistent color array
-	defer opts.Tracker.Free(int64(n) * 4)
-
-	active := ar.activeBuf(n)
-	for i := range active {
-		active[i] = int32(i)
+	// Unconditional: 0 disarms, so a budget left on a reused tracker by an
+	// earlier run cannot leak into this one's accounting; the peak baseline
+	// likewise drops to the caller's still-live bytes, so HostPeakBytes and
+	// the budget verdict describe this run, not a predecessor's high water.
+	opts.Tracker.SetBudget(opts.MemoryBudgetBytes)
+	opts.Tracker.ResetPeak()
+	e := newEngine(ctx, o, &opts, false)
+	e.initUnit(0, e.n)
+	if err := e.runUnit(); err != nil {
+		e.abort()
+		return nil, err
 	}
-	activeBytes := int64(len(active)) * 4
-	opts.Tracker.Alloc(activeBytes)
-
-	base := int32(0)
-	for iter := 1; len(active) > 0; iter++ {
-		if iter > opts.MaxIterations {
-			// Safety valve: finish with fresh singleton colors (proper by
-			// construction: colors unused anywhere else).
-			for i, v := range active {
-				colors[v] = base + int32(i)
-			}
-			res.Fallback = true
-			break
-		}
-		m := len(active)
-		P := opts.paletteFor(m)
-		L := opts.listSizeFor(m, P)
-		st := IterStats{Iteration: iter, ActiveVertices: m, Palette: P, ListSize: L}
-
-		// Line 6: random candidate lists.
-		t0 := time.Now()
-		cl := assignRandomLists(m, P, L, rng, ar)
-		st.AssignTime = time.Since(t0)
-		listRelease := opts.Tracker.Scoped(cl.Bytes())
-
-		// Line 7: conflict subgraph, via the configured backend. From the
-		// second iteration on, a SubViewer oracle is compacted into a
-		// contiguous iteration-local view (charged while it lives), so the
-		// kernel's batched row tests stream over dense vertex data instead
-		// of hopping through the active table.
-		t1 := time.Now()
-		eo := newEdgeOracle(o, active, iter, ar)
-		subRelease := opts.Tracker.Scoped(subViewBytes(eo))
-		conf, bst, err := opts.Builder.Build(eo, cl, opts.Tracker)
-		if err != nil {
-			subRelease()
-			listRelease()
-			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
-		}
-		subRelease()
-		st.BuildTime = time.Since(t1)
-		st.ConflictEdges = conf.Edges
-		st.PairsTested = bst.PairsTested
-		st.CSROnDevice = bst.OnDevice
-		st.DevicePeakBytes = bst.DevicePeakBytes
-		res.TotalConflictEdges += conf.Edges
-		res.TotalPairsTested += bst.PairsTested
-		if conf.Edges > res.MaxConflictEdges {
-			res.MaxConflictEdges = conf.Edges
-		}
-
-		// Lines 8–9: color unconflicted vertices directly, then the
-		// conflict graph.
-		t2 := time.Now()
-		conflicted := ar.conflictedBuf()
-		for i := 0; i < m; i++ {
-			if conf.G.Degree(i) > 0 {
-				conflicted = append(conflicted, int32(i))
-			} else {
-				lst := cl.list(i)
-				colors[active[i]] = base + lst[rng.Intn(len(lst))]
-				st.Unconflicted++
-			}
-		}
-		ar.retainConflicted(conflicted)
-		st.ConflictVertices = len(conflicted)
-
-		var lc *listColorResult
-		if opts.Strategy == DynamicBuckets {
-			lc = colorConflictDynamic(conf.G, cl, conflicted, rng, ar)
-		} else {
-			lc = colorConflictStatic(conf.G, cl, conflicted, opts.Strategy, rng, ar)
-		}
-		for _, v := range conflicted {
-			if c := lc.assign[v]; c != -1 {
-				colors[active[v]] = base + c
-			}
-		}
-		st.Colored = st.Unconflicted + lc.colored
-		st.Failed = len(lc.failed)
-		st.ColorTime = time.Since(t2)
-
-		// Release per-iteration structures.
-		listRelease()
-		opts.Tracker.Free(bst.HostBytes)
-
-		// Line 11–12: recurse on the failed vertices with a fresh palette.
-		opts.Tracker.Free(activeBytes)
-		active = ar.nextActive(lc.failed, active)
-		activeBytes = int64(len(active)) * 4
-		opts.Tracker.Alloc(activeBytes)
-
-		base += int32(P)
-		res.AssignTime += st.AssignTime
-		res.BuildTime += st.BuildTime
-		res.ColorTime += st.ColorTime
-		res.Iters = append(res.Iters, st)
-		if opts.Progress != nil {
-			opts.Progress(st)
-		}
-	}
-	opts.Tracker.Free(activeBytes)
-
-	res.NumColors = colors.NumColors()
-	res.TotalTime = time.Since(tStart)
-	res.HostPeakBytes = opts.Tracker.Peak()
-	return res, nil
+	return e.finish(), nil
 }
 
 // subViewBytes is the tracker charge for an iteration's compacted sub-view:
 // the view's vertex-data bytes when the oracle was compacted, 0 otherwise
-// (the input oracle's own storage is not an iteration-scoped structure).
+// (the input oracle's own storage is not an iteration-scoped structure, and
+// a shard range view shares the input's slab).
 func subViewBytes(eo edgeOracle) int64 {
 	if !eo.compacted {
 		return 0

@@ -1,0 +1,267 @@
+// Streaming partitioned coloring: color the vertex set in shards of size B
+// against the fixed colors of everything colored before, so iteration-scoped
+// memory follows the shard, not the graph. Each shard runs the full staged
+// engine (engine.go) over its own palette windows starting at color 0 —
+// colors are *reused* across shards, and cross-shard properness comes from
+// the fixed-color pass pruning any candidate a frozen neighbor already
+// holds. Under a memory budget the shard size is derived from a worst-case
+// estimate, then resized from the measured per-vertex footprint after every
+// shard — growing into unused headroom, halving after a crossing — so a run
+// degrades gracefully instead of OOMing. Between shards the engine is at a
+// serializable boundary: runs checkpoint, cancel, resume, and extend there.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"picasso/internal/backend"
+	"picasso/internal/graph"
+	"picasso/internal/memtrack"
+)
+
+// minShard floors every derived shard size: below this the per-shard fixed
+// costs dominate and further shrinking cannot help a budget.
+const minShard = 256
+
+// defaultShardSize picks the knob-free streaming shard size for n remaining
+// vertices.
+func defaultShardSize(n int) int {
+	b := n / 8
+	if b < 1024 {
+		b = 1024
+	}
+	if b > 1<<16 {
+		b = 1 << 16
+	}
+	return b
+}
+
+// Stream colors the oracle in shards (Options.ShardSize, or a size derived
+// from Options.MemoryBudgetBytes) and returns the same Result a one-shot
+// Color would: a proper coloring of the whole oracle. Live iteration-scoped
+// memory scales with the shard size instead of n; the coloring differs from
+// Color's (shards reuse palette windows against the frozen frontier) but is
+// proper by the same guarantees. ctx cancels at any stage boundary;
+// Options.Checkpoint observes every shard boundary with a resumable
+// RunState.
+func Stream(ctx context.Context, o graph.Oracle, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return streamRun(ctx, o, &opts, nil, nil)
+}
+
+// Extend colors the vertices [len(prev), n) of the oracle against the
+// frozen coloring prev of the first len(prev) vertices, without recoloring
+// them: the append operation. prev must be a complete proper coloring of
+// the prefix (its colors are trusted, not re-verified). The returned
+// Result's Colors covers all n vertices — prev's entries bit-identical —
+// and its statistics cover only the new work.
+func Extend(ctx context.Context, o graph.Oracle, prev graph.Coloring, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := o.NumVertices()
+	if len(prev) > n {
+		return nil, fmt.Errorf("core: Extend: %d fixed colors for %d vertices", len(prev), n)
+	}
+	for v, c := range prev {
+		if c == graph.Uncolored {
+			return nil, fmt.Errorf("core: Extend: fixed vertex %d is uncolored", v)
+		}
+	}
+	return streamRun(ctx, o, &opts, prev, nil)
+}
+
+// ResumeStream continues a streamed run from a shard-boundary RunState
+// (Resumable() must hold) captured by Options.Checkpoint. With the same
+// oracle and Options and a fixed Options.ShardSize the continuation is
+// deterministic: every remaining shard colors exactly as it would have in
+// the uninterrupted run, because shard randomness derives from (Seed, shard
+// start) alone. Budget-derived shard sizes may adapt differently after a
+// resume (the new tracker has its own peak history), moving shard
+// boundaries — the coloring stays proper either way.
+func ResumeStream(ctx context.Context, o graph.Oracle, opts Options, st *RunState) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: ResumeStream: nil run state")
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := st.validate(o.NumVertices()); err != nil {
+		return nil, err
+	}
+	return streamRun(ctx, o, &opts, nil, st)
+}
+
+// streamRun is the shared shard loop behind Stream, Extend and
+// ResumeStream: prev freezes a prefix coloring (Extend), st restores a
+// checkpoint; at most one is non-nil.
+func streamRun(ctx context.Context, o graph.Oracle, opts *Options, prev graph.Coloring, st *RunState) (*Result, error) {
+	// Unconditional: 0 disarms, so a budget left on a reused tracker by an
+	// earlier run cannot leak into this one's shard sizing or verdict. The
+	// peak baseline drops to the caller's still-live bytes for the same
+	// reason: a stale lifetime peak would both poison OverBudget and blind
+	// nextShard's new-evidence test (peak <= peakBefore forever).
+	opts.Tracker.SetBudget(opts.MemoryBudgetBytes)
+	opts.Tracker.ResetPeak()
+	e := newEngine(ctx, o, opts, true)
+	switch {
+	case prev != nil:
+		copy(e.colors[:len(prev)], prev)
+		for _, c := range prev {
+			if c >= e.ceil {
+				e.ceil = c + 1
+			}
+		}
+		e.fixedEnd, e.nextStart = len(prev), len(prev)
+	case st != nil:
+		copy(e.colors, st.Colors)
+		e.ceil = st.Ceil
+		e.fixedEnd, e.nextStart = st.NextStart, st.NextStart
+		e.shardIdx = st.Shards
+		e.res.Shards = st.Shards
+		e.res.Fallback = st.Fallback
+		e.priorExceeded = st.BudgetExceeded // a violation is never silent, even across a resume
+	}
+
+	baseline := e.tr.Current()
+	shard := opts.ShardSize
+	if shard == 0 && st != nil {
+		shard = st.Shard
+	}
+	if shard == 0 {
+		shard = autoShard(opts, o, e.n, e.n-e.nextStart, baseline)
+	}
+	if shard < 1 {
+		shard = 1
+	}
+	e.shard = shard
+
+	for e.nextStart < e.n {
+		start := e.nextStart
+		end := start + e.shard
+		if end > e.n {
+			end = e.n
+		}
+		peakBefore := e.tr.Peak()
+		hadFrontier := e.fixedEnd > 0
+		e.initUnit(start, end)
+		if err := e.runUnit(); err != nil {
+			e.abort()
+			return nil, err
+		}
+		e.fixedEnd, e.nextStart = end, end
+		e.shardIdx++
+		e.res.Shards = e.shardIdx
+		if opts.Checkpoint != nil {
+			opts.Checkpoint(e.snapshot())
+		}
+		// Resize only auto-derived shards: an explicit ShardSize is a
+		// contract (equivalence tests, benchmarks sweep it), so a budget
+		// crossing is reported, not silently repaired.
+		if opts.ShardSize == 0 {
+			e.shard = nextShard(e.shard, end-start, e.tr,
+				opts.MemoryBudgetBytes, baseline, peakBefore, hadFrontier)
+		}
+	}
+	return e.finish(), nil
+}
+
+// shardFootprint estimates the tracked bytes one streamed iteration holds
+// for a shard of B vertices, assuming the densest admissible conflict
+// subgraph (every bucket-sharing pair an edge). Deliberately worst-case:
+// the initial shard must respect the budget before anything has been
+// measured; nextShard replaces the estimate with measurement afterwards.
+func shardFootprint(opts *Options, o graph.Oracle, n, B int) int64 {
+	P := opts.paletteFor(B)
+	L := opts.listSizeFor(B, P)
+	lists := int64(4 * L)      // candidate lists
+	buckets := int64(4*L + 24) // inverted index Vtx + RowWeight (+Off share)
+	mask := int64(L + 12)      // forbidden mask + fixed-chunk staging
+	var oracle int64           // compacted sub-view vertex data
+	if ds, ok := o.(backend.DeviceSizer); ok && n > 0 {
+		oracle = ds.DeviceBytes() / int64(n)
+	}
+	// Worst-case conflict edges for the shard: all ≈ B²L²/(2P) expected
+	// bucket-sharing pairs become edges; COO and CSR adjacency coexist
+	// during conversion at 8 bytes each per edge end.
+	edges := int64(16) * int64(L) * int64(L) * int64(B) * int64(B) / int64(2*P)
+	total := int64(B)*(4+lists+buckets+mask+oracle+32) + edges + int64(P)*16 + 4096
+	return total * 5 / 4
+}
+
+// autoShard derives the initial shard size from the budget headroom: the
+// largest B in [minShard, remaining] whose worst-case footprint fits.
+// Without a budget it falls back to the knob-free default. When even the
+// minimum shard does not fit, it returns minShard anyway — the run degrades
+// (and reports BudgetExceeded) instead of refusing.
+func autoShard(opts *Options, o graph.Oracle, n, remaining int, baseline int64) int {
+	if remaining < 1 {
+		return minShard
+	}
+	budget := opts.MemoryBudgetBytes
+	if budget <= 0 {
+		return defaultShardSize(remaining)
+	}
+	headroom := budget - baseline
+	if shardFootprint(opts, o, n, minShard) >= headroom {
+		return minShard
+	}
+	lo, hi := minShard, remaining
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if shardFootprint(opts, o, n, mid) <= headroom {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// nextShard resizes an auto-derived shard after each completed unit: halve
+// after a budget crossing (graceful degradation); otherwise retarget from
+// the measured per-vertex cost — but only when the just-finished shard
+// actually set the tracker's peak (a shard that stayed below an older peak
+// yields no fresh per-vertex evidence, and scaling a stale peak by a newer
+// shard length systematically underestimates cost). The retarget keeps 30%
+// headroom, inflates first-shard measurements (no frontier pass ran yet) by
+// 25%, and is bounded to ×4 growth per step.
+func nextShard(cur, lastLen int, tr *memtrack.Tracker, budget, baseline, peakBefore int64, hadFrontier bool) int {
+	if budget <= 0 || lastLen <= 0 {
+		return cur
+	}
+	peak := tr.Peak()
+	if peak <= peakBefore {
+		return cur // no new evidence; the current size is proven safe
+	}
+	if peak > budget {
+		// This shard crossed the budget (the lifetime peak is monotone, so
+		// only a *new* peak above budget means this shard did it — an old
+		// crossing must not keep halving shards that behaved).
+		half := cur / 2
+		if half < minShard {
+			half = minShard
+		}
+		return half
+	}
+	used := peak - baseline
+	if used < 1 {
+		used = 1
+	}
+	perVertex := (used + int64(lastLen) - 1) / int64(lastLen)
+	if !hadFrontier {
+		perVertex = perVertex * 5 / 4
+	}
+	target := (budget - baseline) * 7 / 10 / perVertex
+	next := target
+	if grown := int64(cur) * 4; next > grown {
+		next = grown
+	}
+	if next < minShard {
+		next = minShard
+	}
+	return int(next)
+}

@@ -35,6 +35,19 @@ type SubViewer interface {
 	SubView(vertices []int32, reuse Oracle) Oracle
 }
 
+// RangeViewer is optionally implemented by oracles that can expose a
+// contiguous vertex range [lo, hi) as a standalone oracle over local ids
+// [0, hi−lo) *sharing* the underlying storage: RangeView(lo, hi) must
+// answer HasEdge(i, j) exactly as the parent answers
+// HasEdge(lo+i, lo+j), with no copying. The streaming engine uses it for
+// the first iteration over each shard — the shard's vertex data is a
+// sub-slice of the packed slab, so a shard view costs nothing (contrast
+// SubViewer, which compacts an arbitrary subset by copying).
+type RangeViewer interface {
+	Oracle
+	RangeView(lo, hi int) Oracle
+}
+
 // Complement is the complement view of an oracle: edges become non-edges
 // and vice versa (self loops stay absent). Used to express "clique
 // partition of G = coloring of G'" (paper §II-B).

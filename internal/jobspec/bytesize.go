@@ -1,0 +1,87 @@
+package jobspec
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Byte-size parsing for the memory-budget knobs: flags and job specs say
+// "512MiB" or "2GB", the engine wants int64 bytes. Binary units (KiB, MiB,
+// GiB, TiB) are powers of 1024, decimal units (KB, MB, GB, TB) powers of
+// 1000, matching their SI/IEC meanings; unit matching is case-insensitive
+// and tolerates a space ("512 MiB"). A bare number is bytes. Fractional
+// values are accepted ("1.5GiB") and rounded to the nearest byte.
+
+// byteUnits maps lower-cased suffixes to their byte multipliers, longest
+// first so "mib" is tried before "b".
+var byteUnits = []struct {
+	suffix string
+	mult   float64
+}{
+	{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30}, {"tib", 1 << 40},
+	{"kb", 1e3}, {"mb", 1e6}, {"gb", 1e9}, {"tb", 1e12},
+	{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30}, {"t", 1 << 40},
+	{"b", 1},
+}
+
+// ParseBytes parses a human-readable byte size into bytes. The empty string
+// parses to 0 (no budget).
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	lower := strings.ToLower(t)
+	mult := 1.0
+	num := lower
+	for _, u := range byteUnits {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(lower[:len(lower)-len(u.suffix)])
+			break
+		}
+	}
+	if num == "" {
+		return 0, fmt.Errorf("jobspec: byte size %q has no number", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		// ParseFloat accepts "nan"/"inf", which would sail through the sign
+		// and overflow guards (NaN compares false to everything) and round
+		// to garbage — a malformed size must fail loudly.
+		return 0, fmt.Errorf("jobspec: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("jobspec: negative byte size %q", s)
+	}
+	bytes := v * mult
+	if bytes > math.MaxInt64 {
+		return 0, fmt.Errorf("jobspec: byte size %q overflows", s)
+	}
+	return int64(math.Round(bytes)), nil
+}
+
+// FormatBytes renders a byte count in the largest unit that represents it
+// exactly — binary units first (so 512 MiB round-trips as "512MiB"), then
+// decimal, then bare bytes. ParseBytes(FormatBytes(n)) == n for every
+// non-negative n.
+func FormatBytes(n int64) string {
+	if n == 0 {
+		return "0B"
+	}
+	type unit struct {
+		name string
+		mult int64
+	}
+	for _, u := range []unit{
+		{"TiB", 1 << 40}, {"TB", 1e12}, {"GiB", 1 << 30}, {"GB", 1e9},
+		{"MiB", 1 << 20}, {"MB", 1e6}, {"KiB", 1 << 10}, {"KB", 1e3},
+	} {
+		if n%u.mult == 0 {
+			return strconv.FormatInt(n/u.mult, 10) + u.name
+		}
+	}
+	return strconv.FormatInt(n, 10) + "B"
+}

@@ -1,0 +1,144 @@
+package jobspec
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"123", 123, false},
+		{"42B", 42, false},
+		{"1KB", 1000, false},
+		{"1KiB", 1024, false},
+		{"512MiB", 512 << 20, false},
+		{"512 MiB", 512 << 20, false},
+		{"512mib", 512 << 20, false},
+		{"2GB", 2_000_000_000, false},
+		{"2GiB", 2 << 30, false},
+		{"1.5GiB", 3 << 29, false},
+		{"0.5MB", 500_000, false},
+		{"3TiB", 3 << 40, false},
+		{"3TB", 3_000_000_000_000, false},
+		{"2g", 2 << 30, false},
+		{"64m", 64 << 20, false},
+		{"  256KiB  ", 256 << 10, false},
+		{"MiB", 0, true},
+		{"twelve", 0, true},
+		{"-1GB", 0, true},
+		{"1QB", 0, true},
+		{"1e30GB", 0, true},
+		{"nan", 0, true},
+		{"NaNMiB", 0, true},
+		{"inf", 0, true},
+		{"+InfGB", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{999, "999B"},
+		{1000, "1KB"},
+		{1024, "1KiB"},
+		{512 << 20, "512MiB"},
+		{2_000_000_000, "2GB"},
+		{2 << 30, "2GiB"},
+		{3 << 40, "3TiB"},
+		{1234567, "1234567B"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	// ParseBytes(FormatBytes(n)) == n: the canonicalization contract the
+	// spec normalizer relies on for stable cache keys.
+	values := []int64{0, 1, 512, 1000, 1024, 1 << 20, 3 << 29, 2_000_000_000,
+		512 << 20, 5_000_000, 123456789, 7 << 40}
+	for _, n := range values {
+		s := FormatBytes(n)
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Fatalf("ParseBytes(FormatBytes(%d) = %q): %v", n, s, err)
+		}
+		if got != n {
+			t.Errorf("round trip %d -> %q -> %d", n, s, got)
+		}
+	}
+}
+
+func TestSpecStreamKnobs(t *testing.T) {
+	// Budget strings normalize to their canonical spelling, shard/budget
+	// imply streaming, and both land in the engine options.
+	spec := Spec{Random: "1000:0.5", Seed: 1, Budget: "524288 kib"}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Budget != "512MiB" {
+		t.Errorf("budget normalized to %q", spec.Budget)
+	}
+	if !spec.Streamed() {
+		t.Error("budget did not imply streaming")
+	}
+	opts := spec.Options()
+	if opts.MemoryBudgetBytes != 512<<20 {
+		t.Errorf("options budget = %d", opts.MemoryBudgetBytes)
+	}
+
+	shardSpec := Spec{Random: "1000:0.5", Seed: 1, Shard: 250}
+	if err := shardSpec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !shardSpec.Streamed() || shardSpec.Options().ShardSize != 250 {
+		t.Error("shard knob not propagated")
+	}
+
+	bad := Spec{Random: "1000:0.5", Seed: 1, Budget: "lots"}
+	if err := bad.Normalize(); err == nil {
+		t.Error("unparseable budget accepted")
+	}
+	neg := Spec{Random: "1000:0.5", Seed: 1, Shard: -1}
+	if err := neg.Normalize(); err == nil {
+		t.Error("negative shard accepted")
+	}
+
+	// Two spellings of the same budget canonicalize to one job id basis.
+	a := Spec{Random: "1000:0.5", Seed: 1, Budget: "1GiB"}
+	b := Spec{Random: "1000:0.5", Seed: 1, Budget: "1048576KiB"}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("equivalent budgets canonicalize differently: %s vs %s", a.Canonical(), b.Canonical())
+	}
+}

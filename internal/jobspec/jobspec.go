@@ -60,6 +60,18 @@ type Spec struct {
 	Seed int64 `json:"seed"`
 	// Workers bounds conflict-build parallelism (0 = all cores).
 	Workers int `json:"workers,omitempty"`
+	// Stream selects the partitioned streaming engine: vertices are colored
+	// in shards against the fixed colors of the already-colored prefix, so
+	// live memory follows the shard size instead of n. Implied by Shard or
+	// Budget.
+	Stream bool `json:"stream,omitempty"`
+	// Shard fixes the streaming shard size (0 = derive from Budget, or a
+	// size-based default).
+	Shard int `json:"shard,omitempty"`
+	// Budget is a human-readable host-memory budget ("512MiB", "2GB") the
+	// run's tracker enforces; it also drives automatic shard sizing.
+	// Normalized to the exact-unit spelling of the parsed byte count.
+	Budget string `json:"budget,omitempty"`
 }
 
 // Normalize validates the spec and rewrites it into canonical form in
@@ -171,7 +183,34 @@ func (s *Spec) Normalize() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("jobspec: negative workers %d", s.Workers)
 	}
+
+	if s.Shard < 0 {
+		return fmt.Errorf("jobspec: negative shard size %d", s.Shard)
+	}
+	budget, err := ParseBytes(s.Budget)
+	if err != nil {
+		return err
+	}
+	if budget > 0 {
+		s.Budget = FormatBytes(budget) // canonical exact-unit spelling
+	} else {
+		s.Budget = ""
+	}
+	if s.Shard > 0 || s.Budget != "" {
+		s.Stream = true // shard/budget knobs imply the streaming engine
+	}
 	return nil
+}
+
+// Streamed reports whether the job runs on the partitioned streaming
+// engine (after Normalize).
+func (s Spec) Streamed() bool { return s.Stream }
+
+// BudgetBytes returns the parsed memory budget of a normalized spec (0 =
+// none).
+func (s Spec) BudgetBytes() int64 {
+	b, _ := ParseBytes(s.Budget)
+	return b
 }
 
 // Canonical returns the canonical serialized form of a normalized spec —
@@ -203,6 +242,8 @@ func (s Spec) Options() picasso.Options {
 	}
 	opts.Backend = s.Backend
 	opts.Workers = s.Workers
+	opts.ShardSize = s.Shard
+	opts.MemoryBudgetBytes = s.BudgetBytes()
 	return opts
 }
 

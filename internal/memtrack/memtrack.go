@@ -12,10 +12,22 @@ import "sync"
 // Tracker accumulates live bytes and remembers the peak. The zero value is
 // ready to use; a nil *Tracker is a valid no-op sink so instrumented code
 // never needs nil checks.
+//
+// A Tracker can also act as a governor rather than a mere meter: SetBudget
+// arms a byte budget, and every allocation that pushes the running sum past
+// it counts as an exceedance and (once per crossing) fires the notify
+// callback. Instrumented code does not fail allocations — enforcement is the
+// caller's policy (the streaming engine shrinks its shard size; tests assert
+// the peak stayed under budget) — but the crossing is always recorded, so a
+// budget violation can never pass silently.
 type Tracker struct {
 	mu      sync.Mutex
 	current int64
 	peak    int64
+	budget  int64
+	over    bool // currently above budget (edge detector for notify)
+	crossed int64
+	notify  func(current, budget int64)
 }
 
 // Alloc records n live bytes (n may be negative to adjust).
@@ -28,7 +40,21 @@ func (t *Tracker) Alloc(n int64) {
 	if t.current > t.peak {
 		t.peak = t.current
 	}
+	var fire func(current, budget int64)
+	var cur, bud int64
+	if t.budget > 0 {
+		if t.current > t.budget && !t.over {
+			t.over = true
+			t.crossed++
+			fire, cur, bud = t.notify, t.current, t.budget
+		} else if t.current <= t.budget {
+			t.over = false
+		}
+	}
 	t.mu.Unlock()
+	if fire != nil {
+		fire(cur, bud)
+	}
 }
 
 // Free releases n live bytes.
@@ -38,6 +64,9 @@ func (t *Tracker) Free(n int64) {
 	}
 	t.mu.Lock()
 	t.current -= n
+	if t.budget > 0 && t.current <= t.budget {
+		t.over = false
+	}
 	t.mu.Unlock()
 }
 
@@ -61,7 +90,9 @@ func (t *Tracker) Peak() int64 {
 	return t.peak
 }
 
-// Reset zeroes both counters.
+// Reset zeroes the byte counters and the budget-crossing state. The budget
+// itself and the notify callback survive a Reset: they are configuration,
+// not accumulated state.
 func (t *Tracker) Reset() {
 	if t == nil {
 		return
@@ -69,7 +100,97 @@ func (t *Tracker) Reset() {
 	t.mu.Lock()
 	t.current = 0
 	t.peak = 0
+	t.over = false
+	t.crossed = 0
 	t.mu.Unlock()
+}
+
+// ResetPeak lowers the high-water mark to the current live byte count
+// without touching the running sum: the start-of-run baseline for a
+// tracker that outlives one run. Peaks (and budget verdicts, which compare
+// the peak) then describe this run plus whatever the caller still holds —
+// pre-charged input slabs stay included — instead of a previous run's
+// transient high water.
+func (t *Tracker) ResetPeak() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.peak = t.current
+	t.mu.Unlock()
+}
+
+// SetBudget arms (or, with 0, disarms) a byte budget. Allocations are never
+// refused; crossing the budget is recorded (see Exceedances) and reported
+// through the OnBudget callback once per crossing.
+func (t *Tracker) SetBudget(n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.budget = n
+	if n <= 0 || t.current <= n {
+		t.over = false
+	}
+	t.mu.Unlock()
+}
+
+// Budget returns the armed budget (0 = none).
+func (t *Tracker) Budget() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.budget
+}
+
+// OnBudget installs f as the budget-crossing observer: it is called once
+// each time the live byte count rises from at-or-under to over the armed
+// budget, outside the tracker lock (f may call tracker methods).
+func (t *Tracker) OnBudget(f func(current, budget int64)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notify = f
+	t.mu.Unlock()
+}
+
+// OverBudget reports whether the peak has ever exceeded the armed budget —
+// the "did this run respect its budget" verdict. Always false when no
+// budget is armed.
+func (t *Tracker) OverBudget() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.budget > 0 && t.peak > t.budget
+}
+
+// Exceedances counts upward budget crossings since the last Reset.
+func (t *Tracker) Exceedances() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.crossed
+}
+
+// Headroom returns budget − current, the bytes still available under the
+// armed budget (negative when over); 0 when no budget is armed.
+func (t *Tracker) Headroom() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.budget <= 0 {
+		return 0
+	}
+	return t.budget - t.current
 }
 
 // Scoped records an allocation and returns the matching release closure:

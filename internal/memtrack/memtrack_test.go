@@ -81,3 +81,102 @@ func TestGB(t *testing.T) {
 		t.Fatalf("GB = %v", GB(2_500_000_000))
 	}
 }
+
+func TestBudgetCrossingAndNotify(t *testing.T) {
+	var tr Tracker
+	var fired []int64
+	tr.OnBudget(func(current, budget int64) {
+		fired = append(fired, current)
+		if budget != 100 {
+			t.Errorf("notify budget = %d", budget)
+		}
+	})
+	tr.SetBudget(100)
+	if tr.Budget() != 100 {
+		t.Fatalf("budget = %d", tr.Budget())
+	}
+
+	tr.Alloc(90) // under
+	if tr.OverBudget() || tr.Exceedances() != 0 {
+		t.Fatal("crossed while under budget")
+	}
+	if tr.Headroom() != 10 {
+		t.Fatalf("headroom = %d", tr.Headroom())
+	}
+	tr.Alloc(20) // 110: first crossing
+	tr.Alloc(5)  // 115: still over — same episode, no second notify
+	if got := tr.Exceedances(); got != 1 {
+		t.Fatalf("exceedances = %d, want 1", got)
+	}
+	tr.Free(50)  // 65: back under
+	tr.Alloc(40) // 105: second crossing
+	if got := tr.Exceedances(); got != 2 {
+		t.Fatalf("exceedances = %d, want 2", got)
+	}
+	if len(fired) != 2 || fired[0] != 110 || fired[1] != 105 {
+		t.Fatalf("notify fired with %v", fired)
+	}
+	if !tr.OverBudget() {
+		t.Fatal("peak 115 > budget 100 not reported")
+	}
+
+	// Reset clears crossing state but keeps the armed budget.
+	tr.Reset()
+	if tr.Exceedances() != 0 || tr.OverBudget() {
+		t.Fatal("reset kept crossing state")
+	}
+	if tr.Budget() != 100 {
+		t.Fatal("reset dropped the budget")
+	}
+	tr.Alloc(101)
+	if tr.Exceedances() != 1 {
+		t.Fatal("budget not live after reset")
+	}
+}
+
+func TestBudgetDisarm(t *testing.T) {
+	var tr Tracker
+	tr.SetBudget(10)
+	tr.Alloc(50)
+	if !tr.OverBudget() {
+		t.Fatal("not over")
+	}
+	tr.SetBudget(0)
+	if tr.OverBudget() {
+		t.Fatal("disarmed budget still reported over")
+	}
+	tr.Alloc(1000)
+	if tr.Exceedances() != 1 {
+		t.Fatalf("disarmed budget recorded crossing: %d", tr.Exceedances())
+	}
+}
+
+func TestNilTrackerBudgetNoop(t *testing.T) {
+	var tr *Tracker
+	tr.SetBudget(10)
+	tr.OnBudget(func(int64, int64) { t.Fatal("nil tracker fired notify") })
+	tr.Alloc(100)
+	if tr.Budget() != 0 || tr.OverBudget() || tr.Exceedances() != 0 || tr.Headroom() != 0 {
+		t.Fatal("nil tracker returned nonzero budget state")
+	}
+}
+
+func TestResetPeakDropsToCurrent(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(100)
+	tr.Free(70) // current 30, peak 100
+	tr.ResetPeak()
+	if tr.Peak() != 30 || tr.Current() != 30 {
+		t.Fatalf("after ResetPeak: current=%d peak=%d", tr.Current(), tr.Peak())
+	}
+	tr.Alloc(20)
+	if tr.Peak() != 50 {
+		t.Fatalf("peak after new high water = %d", tr.Peak())
+	}
+	tr.SetBudget(60)
+	if tr.OverBudget() {
+		t.Fatal("run-relative peak 50 reported over a 60 budget")
+	}
+	var nilTr *Tracker
+	nilTr.ResetPeak()
+}

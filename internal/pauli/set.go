@@ -150,6 +150,21 @@ func (s *Set) CompactInto(dst *Set, idx []int32) *Set {
 	return dst
 }
 
+// View returns a zero-copy sub-view of strings [lo, hi): the view's string
+// k is the parent's string lo+k, answered from the same slab words. The
+// slab slice is capacity-clamped, so any append through the view
+// reallocates instead of scribbling over the parent's strings; still, a
+// view is a read-only window by contract — it exists so the streaming
+// engine's shard iterations cost no vertex-data copies. Coefficients are
+// not carried (views exist only to answer (anti)commutation queries).
+func (s *Set) View(lo, hi int) *Set {
+	if lo < 0 || hi < lo || hi > s.Len() {
+		panic(fmt.Sprintf("pauli: view [%d, %d) of %d strings", lo, hi, s.Len()))
+	}
+	w := s.wordsPer
+	return &Set{n: s.n, wordsPer: w, slab: s.slab[lo*w : hi*w : hi*w]}
+}
+
 // CountComplementEdges enumerates all pairs and counts the edges of G'.
 // Quadratic: intended for dataset reporting (Table II), not the hot path.
 func (s *Set) CountComplementEdges() int64 {

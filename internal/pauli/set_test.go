@@ -305,3 +305,41 @@ func TestCompactInto(t *testing.T) {
 		}
 	}
 }
+
+func TestViewSharesSlabAndAnswersLocally(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := RandomSet(30, 80, rng) // two words per string
+	v := s.View(25, 60)
+	if v.Len() != 35 || v.Qubits() != 30 {
+		t.Fatalf("view shape %d×%d", v.Len(), v.Qubits())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if v.At(i).String() != s.At(25+i).String() {
+			t.Fatalf("view string %d differs from parent %d", i, 25+i)
+		}
+		for j := 0; j < v.Len(); j++ {
+			if v.CommuteEdge(i, j) != s.CommuteEdge(25+i, 25+j) {
+				t.Fatalf("view edge (%d,%d) differs from parent", i, j)
+			}
+		}
+	}
+	if v.Bytes() >= s.Bytes() {
+		t.Fatalf("view charges %d bytes, parent %d", v.Bytes(), s.Bytes())
+	}
+	// Appending through a view must reallocate, never scribble on the parent.
+	before := s.At(60).String()
+	v.Append(s.At(0).Clone())
+	if got := s.At(60).String(); got != before {
+		t.Fatalf("append through view corrupted parent: %q -> %q", before, got)
+	}
+	// Degenerate and out-of-range views.
+	if e := s.View(10, 10); e.Len() != 0 {
+		t.Fatalf("empty view has %d strings", e.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range view did not panic")
+		}
+	}()
+	s.View(50, 100)
+}

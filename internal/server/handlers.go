@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"picasso"
 	"picasso/internal/jobspec"
@@ -20,6 +21,8 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/groups", s.handleGroups)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -84,6 +87,109 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel stops a queued or running job. A queued job is dropped
+// immediately (200, state "cancelled"); a running job has its context
+// cancelled and stops at the engine's next stage boundary (202, state still
+// "running" — poll /v1/jobs/{id} for the terminal "cancelled"). Jobs that
+// already finished answer 409: their results stay available.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.Cancel(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job id")
+	case errors.Is(err, ErrJobFinished):
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is already %s", state))
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	case state == StateCancelled:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": state})
+	}
+}
+
+// handleAppend submits an append job: the request's Pauli strings are
+// colored against the frozen grouping of the finished parent job, old
+// groups untouched. Requires a done parent with a Pauli input (instance or
+// strings); answers like handleSubmit (202 new, 200 dedup).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req AppendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding append request: %v", err))
+		return
+	}
+	if len(req.Strings) == 0 {
+		writeError(w, http.StatusBadRequest, "append needs at least one string")
+		return
+	}
+	for i, str := range req.Strings {
+		t := strings.TrimSpace(str)
+		if t == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("appended string %d is empty", i))
+			return
+		}
+		req.Strings[i] = t
+	}
+
+	s.mu.Lock()
+	parent, ok := s.jobs[id]
+	if ok {
+		s.touch(parent)
+	}
+	var parentState string
+	var pauliParent bool
+	var parentVertices int
+	if ok {
+		parentState = parent.State
+		pauliParent = parent.Spec.Instance != "" || len(parent.Spec.Strings) > 0
+		if parent.Result != nil {
+			parentVertices = parent.Result.Vertices
+		}
+	}
+	s.mu.Unlock()
+
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	case parentState != StateDone:
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("append parent is %s; only done jobs can be extended", parentState))
+		return
+	case !pauliParent:
+		writeError(w, http.StatusBadRequest, "append parent is not a Pauli job")
+		return
+	}
+	if n := parentVertices + len(req.Strings); n > s.cfg.MaxVertices {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("appended job size %d exceeds the server limit of %d vertices", n, s.cfg.MaxVertices))
+		return
+	}
+
+	job, hit, err := s.SubmitAppend(parent, req.Strings)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.mu.Lock()
+	resp := SubmitResponse{ID: job.ID, State: job.State, CacheHit: hit, Hits: job.Hits}
+	s.mu.Unlock()
+	status := http.StatusAccepted
+	if hit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
 }
 
 // handleGroups serves a finished job's color classes. A job that exists

@@ -67,7 +67,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string) StatusResponse {
 		if code := getJSON(t, ts, "/v1/jobs/"+id, &st); code != http.StatusOK {
 			t.Fatalf("status %s: HTTP %d", id, code)
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if st.State == StateDone || st.State == StateFailed || st.State == StateCancelled {
 			return st
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -322,5 +322,289 @@ func TestUnknownDefaultBackend(t *testing.T) {
 	// Known name, but unservable without a device: reject at startup too.
 	if _, err := New(Config{DefaultBackend: "gpu"}); err == nil {
 		t.Fatal("want error for device-backed default backend")
+	}
+}
+
+func TestCancelEndpointStatusCodes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	del := func(id string) (int, map[string]string) {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body := map[string]string{}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	if code, _ := del("jffffffffffffffff"); code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown: HTTP %d", code)
+	}
+
+	// A finished job cannot be cancelled — its results stay served.
+	_, sr := postJob(t, ts, `{"random":"200:0.5","seed":9}`)
+	waitState(t, ts, sr.ID)
+	if code, _ := del(sr.ID); code != http.StatusConflict {
+		t.Fatalf("DELETE done job: HTTP %d", code)
+	}
+	if code := getJSON(t, ts, "/v1/jobs/"+sr.ID+"/groups", &GroupsResponse{}); code != http.StatusOK {
+		t.Fatalf("groups after refused cancel: HTTP %d", code)
+	}
+
+	// A queued job cancels with 200 + terminal state in the response.
+	_, blocker := postJob(t, ts, `{"random":"12000:0.5","seed":10,"workers":1}`)
+	_, queued := postJob(t, ts, `{"random":"400:0.5","seed":11}`)
+	code, body := del(queued.ID)
+	if code != http.StatusOK || body["state"] != StateCancelled {
+		t.Fatalf("DELETE queued: HTTP %d %v", code, body)
+	}
+	if st := waitState(t, ts, queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued job terminal state %s", st.State)
+	}
+	waitState(t, ts, blocker.ID)
+}
+
+func TestAppendExtendsGroupingWithoutRecoloring(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Parent: an inline Pauli job.
+	parentBody := `{"strings":["IIXX","XXII","ZZZZ","XYXY","YXYX","IZIZ","ZIZI","XIXI"],"seed":6}`
+	code, parent := postJob(t, ts, parentBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("parent submit: HTTP %d", code)
+	}
+	if st := waitState(t, ts, parent.ID); st.State != StateDone {
+		t.Fatalf("parent failed: %s", st.Error)
+	}
+	var parentGroups GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+parent.ID+"/groups", &parentGroups)
+
+	appendBody := `{"strings":["YYII","IIYY"]}`
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+parent.ID+"/append", "application/json",
+		strings.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ar.ID == parent.ID {
+		t.Fatalf("append submit: HTTP %d %+v", resp.StatusCode, ar)
+	}
+
+	st := waitState(t, ts, ar.ID)
+	if st.State != StateDone {
+		t.Fatalf("append job failed: %s", st.Error)
+	}
+	if st.AppendTo != parent.ID || st.AppendCount != 2 {
+		t.Fatalf("append status lacks lineage: %+v", st)
+	}
+	if st.Result.Vertices != 10 {
+		t.Fatalf("append result covers %d vertices, want 10", st.Result.Vertices)
+	}
+
+	// Old strings keep exactly their parent grouping: result group i must
+	// contain parent group i's members (new strings may join existing
+	// groups or open new ones).
+	var got GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+ar.ID+"/groups", &got)
+	if len(got.Groups) < len(parentGroups.Groups) {
+		t.Fatalf("append lost groups: %d -> %d", len(parentGroups.Groups), len(got.Groups))
+	}
+	for gi, pg := range parentGroups.Groups {
+		members := map[int]bool{}
+		for _, v := range got.Groups[gi] {
+			members[v] = true
+		}
+		for _, v := range pg {
+			if !members[v] {
+				t.Fatalf("old string %d left its group %d", v, gi)
+			}
+		}
+	}
+	total := 0
+	for _, g := range got.Groups {
+		total += len(g)
+	}
+	if total != 10 {
+		t.Fatalf("appended groups cover %d of 10 strings", total)
+	}
+
+	// Resubmitting the same append is a cache hit, not a recompute.
+	resp2, err := http.Post(ts.URL+"/v1/jobs/"+parent.ID+"/append", "application/json",
+		strings.NewReader(appendBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate append: HTTP %d", resp2.StatusCode)
+	}
+
+	// Chained append: extending the append job itself folds its strings in
+	// and freezes its whole 10-vertex grouping.
+	resp3, err := http.Post(ts.URL+"/v1/jobs/"+ar.ID+"/append", "application/json",
+		strings.NewReader(`{"strings":["ZXZX"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chained SubmitResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&chained); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("chained append submit: HTTP %d", resp3.StatusCode)
+	}
+	cst := waitState(t, ts, chained.ID)
+	if cst.State != StateDone {
+		t.Fatalf("chained append failed: %s", cst.Error)
+	}
+	if cst.Result.Vertices != 11 || cst.AppendTo != ar.ID || cst.AppendCount != 1 {
+		t.Fatalf("chained append result: %+v", cst)
+	}
+	var cg GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+chained.ID+"/groups", &cg)
+	for gi, pg := range got.Groups { // the first append's grouping is frozen in turn
+		members := map[int]bool{}
+		for _, v := range cg.Groups[gi] {
+			members[v] = true
+		}
+		for _, v := range pg {
+			if !members[v] {
+				t.Fatalf("chained append moved string %d out of group %d", v, gi)
+			}
+		}
+	}
+}
+
+func TestAppendRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	post := func(id, body string) int {
+		resp, err := http.Post(ts.URL+"/v1/jobs/"+id+"/append", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post("junknown00000000", `{"strings":["XX"]}`); code != http.StatusNotFound {
+		t.Fatalf("append to unknown: HTTP %d", code)
+	}
+
+	// Random-graph parents have no strings to extend.
+	_, randomJob := postJob(t, ts, `{"random":"200:0.5","seed":3}`)
+	waitState(t, ts, randomJob.ID)
+	if code := post(randomJob.ID, `{"strings":["XX"]}`); code != http.StatusBadRequest {
+		t.Fatalf("append to random parent: HTTP %d", code)
+	}
+
+	_, pauli := postJob(t, ts, `{"strings":["XX","ZZ","YY"],"seed":3}`)
+	waitState(t, ts, pauli.ID)
+	if code := post(pauli.ID, `{"strings":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty append: HTTP %d", code)
+	}
+	if code := post(pauli.ID, `{"strings":["   "]}`); code != http.StatusBadRequest {
+		t.Fatalf("blank append: HTTP %d", code)
+	}
+
+	// A qubit-width mismatch is only discoverable at run time: accepted,
+	// then failed.
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+pauli.ID+"/append", "application/json",
+		strings.NewReader(`{"strings":["XXXXXX"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar SubmitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&ar)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mismatched append submit: HTTP %d", resp.StatusCode)
+	}
+	if st := waitState(t, ts, ar.ID); st.State != StateFailed || !strings.Contains(st.Error, "qubits") {
+		t.Fatalf("mismatched append ended %s: %s", st.State, st.Error)
+	}
+}
+
+func TestCacheBoundedByResultBytes(t *testing.T) {
+	// Entry count alone would retain all jobs (CacheSize 100); the byte
+	// bound must evict: each n=400 job pins ≈ 3.5 KiB of groups, so a 6 KiB
+	// budget holds barely one finished result at a time.
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: 100, CacheBytes: 6 << 10})
+
+	var ids []string
+	for seed := 0; seed < 3; seed++ {
+		_, sr := postJob(t, ts, fmt.Sprintf(`{"random":"400:0.5","seed":%d}`, 100+seed))
+		if st := waitState(t, ts, sr.ID); st.State != StateDone {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		ids = append(ids, sr.ID)
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts, "/v1/stats", &stats)
+	if stats.Evicted == 0 {
+		t.Fatalf("no evictions under a 6 KiB cache: %+v", stats)
+	}
+	if stats.CacheBytes > 2*(6<<10) {
+		t.Fatalf("cache holds %d bytes against a 6 KiB bound", stats.CacheBytes)
+	}
+	// The earliest job is gone, the newest survives.
+	if code := getJSON(t, ts, "/v1/jobs/"+ids[0], nil); code != http.StatusNotFound {
+		t.Fatalf("evicted job still served: HTTP %d", code)
+	}
+	if code := getJSON(t, ts, "/v1/jobs/"+ids[2], nil); code != http.StatusOK {
+		t.Fatalf("newest job evicted: HTTP %d", code)
+	}
+	s.mu.Lock()
+	retained := s.done.Len()
+	s.mu.Unlock()
+	if retained >= 3 {
+		t.Fatalf("byte bound retained all %d jobs", retained)
+	}
+}
+
+func TestStreamedJobOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, sr := postJob(t, ts, `{"random":"3000:0.5","seed":5,"shard":1000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sr.ID)
+	if st.State != StateDone {
+		t.Fatalf("streamed job failed: %s", st.Error)
+	}
+	if st.Result.Shards != 3 {
+		t.Fatalf("streamed job ran %d shards, want 3", st.Result.Shards)
+	}
+
+	// Budget-driven: the spec only names a budget; the server streams under
+	// it and reports the tracked peak.
+	code, sr2 := postJob(t, ts, `{"random":"3000:0.5","seed":5,"budget":"4MiB"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("budget submit: HTTP %d", code)
+	}
+	st2 := waitState(t, ts, sr2.ID)
+	if st2.State != StateDone {
+		t.Fatalf("budget job failed: %s", st2.Error)
+	}
+	if st2.Result.PeakBytes == 0 || st2.Result.PeakBytes > 4<<20 {
+		t.Fatalf("budget job peak %d bytes against 4 MiB", st2.Result.PeakBytes)
+	}
+	if st2.Result.BudgetExceeded {
+		t.Fatal("budget job reported exceeded")
+	}
+	if st2.Result.Shards < 2 {
+		t.Fatalf("budget job ran %d shard(s)", st2.Result.Shards)
 	}
 }

@@ -2,8 +2,10 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"time"
 
 	"picasso/internal/jobspec"
@@ -26,7 +28,31 @@ type Job struct {
 	Groups      [][]int
 	Err         string
 
-	lru *list.Element // position in the completed-job LRU, nil until retained
+	// Append, when non-nil, makes this an append job: the new strings are
+	// colored against the frozen parent grouping (snapshotted here at
+	// submission, so a later parent eviction cannot strand the job).
+	Append *appendJob
+
+	// ctx is cancelled by DELETE /v1/jobs/{id}; the engine observes it at
+	// its next stage boundary.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	resultBytes int64         // approximate retained result footprint
+	lru         *list.Element // position in the completed-job LRU, nil until retained
+}
+
+// appendJob carries everything an append needs from its finished parent.
+// Strings holds the full append list relative to the *base* spec input —
+// for a chained append that is the parent's own appended strings followed
+// by the newly submitted ones; Appended counts only the new ones (the
+// status response's append_count). Groups is the parent's frozen partition
+// over the base input plus the parent's appends.
+type appendJob struct {
+	ParentID string
+	Strings  []string
+	Appended int
+	Groups   [][]int
 }
 
 // JobID derives the deterministic job id from a canonical spec: the same
@@ -37,19 +63,53 @@ func JobID(canonical string) string {
 	return "j" + hex.EncodeToString(sum[:8])
 }
 
+// appendCanonical derives an append job's cache key from the parent's
+// canonical spec and the appended payload: resubmitting the same strings to
+// the same parent joins the existing append job.
+func appendCanonical(parentCanonical string, strs []string) string {
+	blob, err := json.Marshal(strs)
+	if err != nil {
+		// A []string cannot fail to marshal.
+		panic(err)
+	}
+	return parentCanonical + "+append:" + string(blob)
+}
+
+// approxResultBytes estimates the bytes a finished job pins in the result
+// cache: the group membership (the dominant term — one int per colored
+// vertex plus a slice header per group) and a constant for the summary and
+// job bookkeeping.
+func approxResultBytes(groups [][]int) int64 {
+	b := int64(256)
+	for _, g := range groups {
+		b += 24 + 8*int64(len(g))
+	}
+	return b
+}
+
 // retain inserts a finished job at the front of the completed-job LRU and
-// evicts from the back past the cache size. Only finished jobs live in the
-// LRU, so eviction can never drop queued or running work. Callers hold mu.
+// evicts from the back past the cache size — by entry count AND by
+// approximate result bytes, so a handful of huge-n groupings cannot pin
+// more memory than the whole cache was sized for. The newest entry is never
+// evicted (the client that just finished the job gets one chance to read
+// it). Only finished jobs live in the LRU, so eviction can never drop
+// queued or running work. Callers hold mu.
 func (s *Server) retain(j *Job) {
 	if j.lru != nil {
 		s.done.MoveToFront(j.lru)
 		return
 	}
+	if j.resultBytes == 0 {
+		j.resultBytes = approxResultBytes(j.Groups)
+	}
 	j.lru = s.done.PushFront(j)
-	for s.done.Len() > s.cfg.CacheSize {
+	s.cacheBytes += j.resultBytes
+	for s.done.Len() > 1 &&
+		(s.done.Len() > s.cfg.CacheSize || s.cacheBytes > s.cfg.CacheBytes) {
 		back := s.done.Back()
 		old := back.Value.(*Job)
 		s.done.Remove(back)
+		s.cacheBytes -= old.resultBytes
 		delete(s.jobs, old.ID)
 		s.stats.evicted++
 	}
@@ -71,6 +131,10 @@ func (s *Server) statusLocked(j *Job) StatusResponse {
 		Hits:        j.Hits,
 		SubmittedAt: j.SubmittedAt.UTC().Format(time.RFC3339Nano),
 		Error:       j.Err,
+	}
+	if j.Append != nil {
+		st.AppendTo = j.Append.ParentID
+		st.AppendCount = j.Append.Appended
 	}
 	if !j.StartedAt.IsZero() {
 		st.StartedAt = j.StartedAt.UTC().Format(time.RFC3339Nano)

@@ -4,10 +4,11 @@ import "picasso/internal/jobspec"
 
 // Job lifecycle states.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
 
 // SubmitResponse answers POST /v1/jobs. CacheHit reports that the canonical
@@ -25,11 +26,15 @@ type SubmitResponse struct {
 // ProgressInfo is the live view of a running job, fed by the per-iteration
 // progress callback: how many Algorithm 1 iterations have completed, how
 // many vertices are still uncolored, and the cumulative conflict work.
+// Streamed jobs additionally report completed shards and the size of the
+// frozen (fully colored) frontier.
 type ProgressInfo struct {
 	Iterations        int   `json:"iterations"`
 	RemainingVertices int   `json:"remaining_vertices"`
 	ConflictEdges     int64 `json:"conflict_edges"`
 	PairsTested       int64 `json:"pairs_tested"`
+	Shards            int   `json:"shards,omitempty"`
+	ColoredVertices   int   `json:"colored_vertices,omitempty"`
 }
 
 // ResultSummary is the completed-run digest embedded in a status response;
@@ -43,7 +48,16 @@ type ResultSummary struct {
 	TotalConflictEdges int64   `json:"total_conflict_edges"`
 	PairsTested        int64   `json:"pairs_tested"`
 	Fallback           bool    `json:"fallback,omitempty"`
+	Shards             int     `json:"shards,omitempty"`
+	PeakBytes          int64   `json:"peak_bytes,omitempty"`
+	BudgetExceeded     bool    `json:"budget_exceeded,omitempty"`
 	ElapsedMS          float64 `json:"elapsed_ms"`
+}
+
+// AppendRequest is the body of POST /v1/jobs/{id}/append: new Pauli strings
+// to color against the finished parent job's frozen grouping.
+type AppendRequest struct {
+	Strings []string `json:"strings"`
 }
 
 // StatusResponse answers GET /v1/jobs/{id}.
@@ -55,6 +69,8 @@ type StatusResponse struct {
 	SubmittedAt string         `json:"submitted_at"`
 	StartedAt   string         `json:"started_at,omitempty"`
 	FinishedAt  string         `json:"finished_at,omitempty"`
+	AppendTo    string         `json:"append_to,omitempty"`    // parent id for append jobs
+	AppendCount int            `json:"append_count,omitempty"` // strings appended
 	Progress    *ProgressInfo  `json:"progress,omitempty"`
 	Result      *ResultSummary `json:"result,omitempty"`
 	Error       string         `json:"error,omitempty"`
@@ -70,16 +86,18 @@ type GroupsResponse struct {
 
 // StatsResponse answers GET /v1/stats with the server's lifetime counters.
 type StatsResponse struct {
-	Submitted int64 `json:"submitted"`
-	CacheHits int64 `json:"cache_hits"`
-	Completed int64 `json:"completed"`
-	Failed    int64 `json:"failed"`
-	Rejected  int64 `json:"rejected"`
-	Evicted   int64 `json:"evicted"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Retained  int   `json:"retained"`
-	Workers   int   `json:"workers"`
+	Submitted  int64 `json:"submitted"`
+	CacheHits  int64 `json:"cache_hits"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Cancelled  int64 `json:"cancelled"`
+	Rejected   int64 `json:"rejected"`
+	Evicted    int64 `json:"evicted"`
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
+	Retained   int   `json:"retained"`
+	CacheBytes int64 `json:"cache_bytes"`
+	Workers    int   `json:"workers"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -23,8 +25,16 @@ func (s *Server) worker() {
 // run executes one job end to end, with panic isolation — a panicking
 // coloring run fails that job, not the worker. (The arena stays reusable
 // after a panic: every acquisition re-slices its buffer from scratch.)
+// Jobs cancelled while queued are skipped (already terminal); jobs
+// cancelled while running are observed by the engine at its next stage
+// boundary and land in the "cancelled" state here.
 func (s *Server) run(job *Job, arena *picasso.Arena) {
 	s.mu.Lock()
+	if job.State != StateQueued {
+		// Cancelled between enqueue and pickup; already retained.
+		s.mu.Unlock()
+		return
+	}
 	job.State = StateRunning
 	job.StartedAt = time.Now()
 	s.running++
@@ -45,11 +55,16 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 	defer s.mu.Unlock()
 	s.running--
 	job.FinishedAt = time.Now()
-	if err != nil {
+	switch {
+	case errors.Is(err, context.Canceled):
+		job.State = StateCancelled
+		job.Err = "cancelled"
+		s.stats.cancelled++
+	case err != nil:
 		job.State = StateFailed
 		job.Err = err.Error()
 		s.stats.failed++
-	} else {
+	default:
 		summary.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		job.State = StateDone
 		job.Result = summary
@@ -61,20 +76,39 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 
 // color materializes the job's input and runs the coloring, streaming
 // per-iteration statistics into the job's progress view. The coloring draws
-// all iteration-scoped buffers from the worker's arena.
+// all iteration-scoped buffers from the worker's arena and observes the
+// job's cancellation context at every engine stage boundary. Specs that
+// asked to stream run on the partitioned engine; append jobs extend their
+// parent's frozen grouping.
 func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int, error) {
 	opts := job.Spec.Options()
 	if opts.Backend == "" {
 		opts.Backend = s.cfg.DefaultBackend
 	}
+	if opts.MemoryBudgetBytes == 0 && s.cfg.DefaultBudgetBytes > 0 {
+		opts.MemoryBudgetBytes = s.cfg.DefaultBudgetBytes
+	}
 	opts.Arena = arena
 	opts.Progress = func(st picasso.IterStats) {
 		s.mu.Lock()
-		job.Progress.Iterations = st.Iteration
-		job.Progress.RemainingVertices = st.Failed
+		job.Progress.Iterations++
+		job.Progress.RemainingVertices = st.Uncolored // global, incl. unreached shards
 		job.Progress.ConflictEdges += st.ConflictEdges
 		job.Progress.PairsTested += st.PairsTested
 		s.mu.Unlock()
+	}
+	opts.Checkpoint = func(st picasso.RunState) {
+		if !st.Resumable() {
+			return
+		}
+		s.mu.Lock()
+		job.Progress.Shards = st.Shards
+		job.Progress.ColoredVertices = st.NextStart
+		s.mu.Unlock()
+	}
+
+	if job.Append != nil {
+		return s.colorAppend(job, opts)
 	}
 
 	oracle, set, err := job.Spec.BuildInput()
@@ -82,15 +116,84 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		return nil, nil, err
 	}
 	var res *picasso.Result
-	if set != nil {
-		res, err = picasso.ColorPauli(set, opts)
-	} else {
-		res, err = picasso.Color(oracle, opts)
+	switch {
+	case set != nil && job.Spec.Streamed():
+		res, err = picasso.StreamPauli(job.ctx, set, opts)
+	case set != nil:
+		res, err = picasso.ColorPauliContext(job.ctx, set, opts)
+	case job.Spec.Streamed():
+		res, err = picasso.Stream(job.ctx, oracle, opts)
+	default:
+		res, err = picasso.ColorContext(job.ctx, oracle, opts)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	groups := picasso.ColorGroups(res.Colors)
+	return summarize(res, groups), groups, nil
+}
+
+// colorAppend rebuilds the parent's base input, appends the job's full
+// string list (a chained append's parent strings first, then the new
+// ones), and extends the frozen grouping: every vertex the parent's groups
+// cover keeps its exact group, the rest are colored against them by the
+// streaming engine's fixed-color pass.
+func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, [][]int, error) {
+	_, set, err := job.Spec.BuildInput()
+	if err != nil {
+		return nil, nil, err
+	}
+	if set == nil {
+		return nil, nil, fmt.Errorf("append parent is not a Pauli job")
+	}
+	base := set.Len()
+	for i, str := range job.Append.Strings {
+		p, err := picasso.ParsePauliStrings([]string{str})
+		if err != nil {
+			return nil, nil, fmt.Errorf("appended string %d: %w", i, err)
+		}
+		if p.Qubits() != set.Qubits() {
+			return nil, nil, fmt.Errorf("appended string %d has %d qubits, parent has %d",
+				i, p.Qubits(), set.Qubits())
+		}
+		set.Append(p.At(0))
+	}
+
+	// The frozen prefix is whatever the parent's groups cover: the base
+	// input alone for a first append, base plus the parent's own appends
+	// for a chained one. Replayed as a coloring, the class ordinal is a
+	// proper color (classes are exactly the parent's color classes).
+	prevLen := 0
+	for _, group := range job.Append.Groups {
+		prevLen += len(group)
+	}
+	if prevLen < base || prevLen > set.Len() {
+		return nil, nil, fmt.Errorf("append parent groups cover %d strings, expected between %d and %d",
+			prevLen, base, set.Len())
+	}
+	prev := make(picasso.Coloring, prevLen)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for gi, group := range job.Append.Groups {
+		for _, v := range group {
+			if v < 0 || v >= prevLen || prev[v] != -1 {
+				return nil, nil, fmt.Errorf("append parent groups corrupt at vertex %d", v)
+			}
+			prev[v] = int32(gi)
+		}
+	}
+
+	res, err := picasso.ExtendPauli(job.ctx, set, prev, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := picasso.ColorGroups(res.Colors)
+	return summarize(res, groups), groups, nil
+}
+
+// summarize digests a Result for the status endpoint.
+func summarize(res *picasso.Result, groups [][]int) *ResultSummary {
 	return &ResultSummary{
 		Vertices:           len(res.Colors),
 		NumColors:          res.NumColors,
@@ -100,5 +203,8 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		TotalConflictEdges: res.TotalConflictEdges,
 		PairsTested:        res.TotalPairsTested,
 		Fallback:           res.Fallback,
-	}, groups, nil
+		Shards:             res.Shards,
+		PeakBytes:          res.HostPeakBytes,
+		BudgetExceeded:     res.BudgetExceeded,
+	}
 }

@@ -231,3 +231,105 @@ func TestProgressStreaming(t *testing.T) {
 		t.Fatalf("finished job reports %d remaining vertices", prog.RemainingVertices)
 	}
 }
+
+// TestCancelQueuedJobDropsImmediately covers the first DELETE path: a job
+// cancelled while still queued transitions to "cancelled" synchronously,
+// is never started, and stays retrievable from the result cache.
+func TestCancelQueuedJobDropsImmediately(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the single worker so the target job stays queued.
+	blocker, _ := submitSpec(t, s, jobspec.Spec{Random: "12000:0.5", Seed: 1, Workers: 1})
+	target, _ := submitSpec(t, s, jobspec.Spec{Random: "500:0.5", Seed: 2})
+
+	state, err := s.Cancel(target.ID)
+	if err != nil || state != StateCancelled {
+		t.Fatalf("Cancel(queued) = %q, %v", state, err)
+	}
+	st, ok := s.Status(target.ID)
+	if !ok || st.State != StateCancelled {
+		t.Fatalf("queued job state after cancel: %+v", st)
+	}
+
+	// A second cancel is a conflict, not a crash.
+	if _, err := s.Cancel(target.ID); err != ErrJobFinished {
+		t.Fatalf("double cancel returned %v", err)
+	}
+	if _, err := s.Cancel("jdeadbeef00000000"); err != ErrUnknownJob {
+		t.Fatalf("cancel of unknown job returned %v", err)
+	}
+
+	waitAllDone(t, s, []string{blocker.ID})
+	// The worker must have skipped the cancelled job: never started.
+	s.mu.Lock()
+	started, state2 := !target.StartedAt.IsZero(), target.State
+	cancelled := s.stats.cancelled
+	s.mu.Unlock()
+	if started || state2 != StateCancelled {
+		t.Fatalf("cancelled queued job ran anyway (started=%v state=%s)", started, state2)
+	}
+	if cancelled != 1 {
+		t.Fatalf("cancelled counter = %d", cancelled)
+	}
+}
+
+// TestCancelRunningJobStopsAtStageBoundary covers the second DELETE path:
+// cancelling a running job flips its context; the engine observes it at the
+// next stage boundary and the job lands in the terminal "cancelled" state
+// without finishing its coloring.
+func TestCancelRunningJobStopsAtStageBoundary(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Big enough that cancellation always lands mid-run: tens of millions
+	// of pair tests on one sequential worker.
+	job, _ := submitSpec(t, s, jobspec.Spec{Random: "40000:0.5", Seed: 3, Workers: 1})
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s.mu.Lock()
+		state := job.State
+		s.mu.Unlock()
+		if state == StateRunning {
+			break
+		}
+		if state != StateQueued || time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", state)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	state, err := s.Cancel(job.ID)
+	if err != nil || state != StateRunning {
+		t.Fatalf("Cancel(running) = %q, %v", state, err)
+	}
+
+	for time.Now().Before(deadline) {
+		st, _ := s.Status(job.ID)
+		if st.State == StateCancelled {
+			s.mu.Lock()
+			done := job.Groups
+			errMsg := job.Err
+			s.mu.Unlock()
+			if done != nil {
+				t.Fatal("cancelled job still produced groups")
+			}
+			if errMsg != "cancelled" {
+				t.Fatalf("cancelled job error = %q", errMsg)
+			}
+			return
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			t.Fatalf("cancelled running job ended as %s", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("running job never reached the cancelled state")
+}

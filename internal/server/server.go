@@ -15,6 +15,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -36,11 +37,20 @@ type Config struct {
 	// CacheSize is the number of finished jobs retained in the LRU
 	// (0 = 512).
 	CacheSize int
+	// CacheBytes additionally bounds the LRU by the approximate bytes of
+	// retained results (groups + summaries), so a few huge-n results cannot
+	// blow the cache past its intent (0 = 256 MiB).
+	CacheBytes int64
 	// MaxVertices rejects jobs larger than this at admission (0 = 1<<20).
 	MaxVertices int
 	// DefaultBackend is the conflict-construction backend used when a spec
 	// leaves its backend empty ("" keeps the registry's auto selection).
 	DefaultBackend string
+	// DefaultBudgetBytes arms every job whose spec carries no budget of its
+	// own with this host-memory budget (0 = none). Specs that asked to
+	// stream size their shards from it; one-shot jobs report crossings in
+	// their result summary.
+	DefaultBudgetBytes int64
 }
 
 func (c *Config) fill() error {
@@ -52,6 +62,9 @@ func (c *Config) fill() error {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 512
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
 	}
 	if c.MaxVertices <= 0 {
 		c.MaxVertices = 1 << 20
@@ -86,6 +99,12 @@ var (
 	ErrClosed    = errors.New("server: shutting down")
 )
 
+// Cancellation failure modes, surfaced to handlers as 404/409.
+var (
+	ErrUnknownJob  = errors.New("server: unknown job id")
+	ErrJobFinished = errors.New("server: job already finished")
+)
+
 // Server is the coloring service. It implements http.Handler; Close drains
 // the worker pool.
 type Server struct {
@@ -94,13 +113,14 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool
-	jobs    map[string]*Job
-	done    *list.List // finished jobs, most recently used at the front
-	running int
-	stats   struct {
-		submitted, cacheHits, completed, failed, rejected, evicted int64
+	mu         sync.Mutex
+	closed     bool
+	jobs       map[string]*Job
+	done       *list.List // finished jobs, most recently used at the front
+	cacheBytes int64      // approximate bytes pinned by the done LRU
+	running    int
+	stats      struct {
+		submitted, cacheHits, completed, failed, cancelled, rejected, evicted int64
 	}
 }
 
@@ -148,36 +168,98 @@ func (s *Server) Close() {
 // queued, running, or finished job, and no new work was created.
 func (s *Server) Submit(spec jobspec.Spec) (*Job, bool, error) {
 	canonical := spec.Canonical()
-	id := JobID(canonical)
+	return s.enqueue(&Job{
+		ID:        JobID(canonical),
+		Spec:      spec,
+		Canonical: canonical,
+	})
+}
 
+// SubmitAppend registers an append job: the new strings will be colored
+// against the frozen grouping of the finished parent job, without
+// recoloring the parent's vertices. The parent's groups are snapshotted
+// into the job at submission, so later cache eviction of the parent cannot
+// strand it. Appending to a job that is itself an append works: the
+// parent's own appended strings are folded in ahead of the new ones, so
+// the rebuilt base input plus the combined append list reproduces exactly
+// the vertex set the parent's groups cover. The bool reports a cache hit,
+// exactly as for Submit.
+func (s *Server) SubmitAppend(parent *Job, strs []string) (*Job, bool, error) {
+	canonical := appendCanonical(parent.Canonical, strs)
+	combined := strs
+	if parent.Append != nil {
+		combined = make([]string, 0, len(parent.Append.Strings)+len(strs))
+		combined = append(combined, parent.Append.Strings...)
+		combined = append(combined, strs...)
+	}
+	return s.enqueue(&Job{
+		ID:        JobID(canonical),
+		Spec:      parent.Spec,
+		Canonical: canonical,
+		Append: &appendJob{
+			ParentID: parent.ID,
+			Strings:  combined,
+			Appended: len(strs),
+			Groups:   parent.Groups,
+		},
+	})
+}
+
+// enqueue dedups and queues a prepared job. Callers fill identity fields;
+// enqueue owns lifecycle fields (state, times, cancellation context).
+func (s *Server) enqueue(j *Job) (*Job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.submitted++
-	if j, ok := s.jobs[id]; ok {
-		j.Hits++
+	if existing, ok := s.jobs[j.ID]; ok {
+		existing.Hits++
 		s.stats.cacheHits++
-		s.touch(j)
-		return j, true, nil
+		s.touch(existing)
+		return existing, true, nil
 	}
 	if s.closed {
 		s.stats.rejected++
 		return nil, false, ErrClosed
 	}
-	j := &Job{
-		ID:          id,
-		Spec:        spec,
-		Canonical:   canonical,
-		State:       StateQueued,
-		Hits:        1,
-		SubmittedAt: time.Now(),
-	}
+	j.State = StateQueued
+	j.Hits = 1
+	j.SubmittedAt = time.Now()
+	j.ctx, j.cancel = context.WithCancel(context.Background())
 	select {
 	case s.queue <- j:
-		s.jobs[id] = j
+		s.jobs[j.ID] = j
 		return j, false, nil
 	default:
 		s.stats.rejected++
 		return nil, false, ErrQueueFull
+	}
+}
+
+// Cancel stops a job: a queued job transitions to "cancelled" immediately
+// (the worker will skip it), a running job has its context cancelled and
+// transitions at the engine's next stage boundary. The returned state is
+// the job's state after the call ("cancelled", or "running" while the
+// engine winds down). Finished jobs return ErrJobFinished.
+func (s *Server) Cancel(id string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", ErrUnknownJob
+	}
+	switch j.State {
+	case StateQueued:
+		j.cancel()
+		j.State = StateCancelled
+		j.FinishedAt = time.Now()
+		s.stats.cancelled++
+		s.retain(j)
+		return StateCancelled, nil
+	case StateRunning:
+		j.cancel() // the run loop finishes the transition
+		return StateRunning, nil
+	default:
+		return j.State, ErrJobFinished
 	}
 }
 
@@ -203,15 +285,17 @@ func (s *Server) Stats() StatsResponse {
 		}
 	}
 	return StatsResponse{
-		Submitted: s.stats.submitted,
-		CacheHits: s.stats.cacheHits,
-		Completed: s.stats.completed,
-		Failed:    s.stats.failed,
-		Rejected:  s.stats.rejected,
-		Evicted:   s.stats.evicted,
-		Queued:    queued,
-		Running:   s.running,
-		Retained:  s.done.Len(),
-		Workers:   s.cfg.Workers,
+		Submitted:  s.stats.submitted,
+		CacheHits:  s.stats.cacheHits,
+		Completed:  s.stats.completed,
+		Failed:     s.stats.failed,
+		Cancelled:  s.stats.cancelled,
+		Rejected:   s.stats.rejected,
+		Evicted:    s.stats.evicted,
+		Queued:     queued,
+		Running:    s.running,
+		Retained:   s.done.Len(),
+		CacheBytes: s.cacheBytes,
+		Workers:    s.cfg.Workers,
 	}
 }

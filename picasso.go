@@ -40,6 +40,7 @@
 package picasso
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -97,6 +98,10 @@ type (
 	// vertex data out of the per-pair test (see backend.AsBatch; plain
 	// EdgeOracles are adapted automatically).
 	BatchEdgeOracle = backend.BatchEdgeOracle
+	// RunState is a serializable engine snapshot taken at stage boundaries
+	// (Options.Checkpoint). A shard-boundary snapshot (Resumable()) resumes
+	// a streamed run via ResumeStream.
+	RunState = core.RunState
 )
 
 // Conflict-graph coloring strategies.
@@ -136,10 +141,60 @@ func Color(o Oracle, opts Options) (*Result, error) {
 	return core.Color(o, opts)
 }
 
+// ColorContext is Color with cancellation: ctx is honored at every stage
+// boundary of the staged engine (and inside the conflict builders), so a
+// cancelled run returns ctx's error within one stage instead of running to
+// completion.
+func ColorContext(ctx context.Context, o Oracle, opts Options) (*Result, error) {
+	return core.ColorContext(ctx, o, opts)
+}
+
 // ColorPauli colors the commutation graph of a Pauli-string set, yielding a
 // clique partition of the anticommutation graph: the unitary grouping.
 func ColorPauli(set *PauliSet, opts Options) (*Result, error) {
 	return core.Color(core.NewPauliOracle(set), opts)
+}
+
+// ColorPauliContext is ColorPauli with cancellation (see ColorContext).
+func ColorPauliContext(ctx context.Context, set *PauliSet, opts Options) (*Result, error) {
+	return core.ColorContext(ctx, core.NewPauliOracle(set), opts)
+}
+
+// Stream colors the oracle in shards against the fixed colors of the
+// already-colored prefix, so live iteration-scoped memory follows the shard
+// size (Options.ShardSize, or a size derived from
+// Options.MemoryBudgetBytes) instead of n. The result is a proper coloring
+// of the whole oracle; Options.Checkpoint observes every shard boundary
+// with a resumable RunState, and ctx cancels at any stage boundary.
+func Stream(ctx context.Context, o Oracle, opts Options) (*Result, error) {
+	return core.Stream(ctx, o, opts)
+}
+
+// StreamPauli is Stream over a Pauli-string set's commutation graph.
+func StreamPauli(ctx context.Context, set *PauliSet, opts Options) (*Result, error) {
+	return core.Stream(ctx, core.NewPauliOracle(set), opts)
+}
+
+// Extend colors the vertices [len(prev), n) of the oracle against the
+// frozen complete coloring prev of the first len(prev) vertices, without
+// recoloring them — the append operation. The returned coloring covers all
+// n vertices with prev's entries bit-identical.
+func Extend(ctx context.Context, o Oracle, prev Coloring, opts Options) (*Result, error) {
+	return core.Extend(ctx, o, prev, opts)
+}
+
+// ExtendPauli is Extend over a Pauli set that grew: strings [len(prev),
+// set.Len()) are grouped against the frozen grouping of the original
+// strings — newly arrived terms join existing unitary groups (or new ones)
+// while every old group assignment stays exactly as published.
+func ExtendPauli(ctx context.Context, set *PauliSet, prev Coloring, opts Options) (*Result, error) {
+	return core.Extend(ctx, core.NewPauliOracle(set), prev, opts)
+}
+
+// ResumeStream continues a streamed run from a shard-boundary RunState
+// captured by Options.Checkpoint, with the same oracle and Options.
+func ResumeStream(ctx context.Context, o Oracle, opts Options, st *RunState) (*Result, error) {
+	return core.ResumeStream(ctx, o, opts, st)
 }
 
 // ColorStrings parses raw Pauli letter strings and colors their commutation

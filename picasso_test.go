@@ -1,6 +1,7 @@
 package picasso_test
 
 import (
+	"context"
 	"testing"
 
 	"picasso"
@@ -139,4 +140,54 @@ func TestEndToEndMoleculeGrouping(t *testing.T) {
 		t.Errorf("weak compression: %d groups for %d strings (%.0f%%)",
 			res.NumColors, set.Len(), 100*ratio)
 	}
+}
+
+// TestStreamedBudgetAcceptance is the PR's acceptance gate: a streamed run
+// at n = 50k with a budget set well below the one-shot run's measured peak
+// completes with a verified proper coloring whose tracked peak stays under
+// the budget, at a color count within a fixed factor of one-shot quality.
+func TestStreamedBudgetAcceptance(t *testing.T) {
+	const n = 50000
+	o := picasso.RandomGraph(n, 0.5, 77)
+
+	var oneTr picasso.MemoryTracker
+	oneOpts := picasso.Normal(5)
+	oneOpts.Tracker = &oneTr
+	oneShot, err := picasso.Color(o, oneOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneTr.Peak() == 0 {
+		t.Fatal("one-shot run tracked no memory")
+	}
+
+	budget := oneTr.Peak() / 3
+	var tr picasso.MemoryTracker
+	opts := picasso.Normal(5)
+	opts.Tracker = &tr
+	opts.MemoryBudgetBytes = budget
+	res, err := picasso.Stream(context.Background(), o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.Verify(o, res.Colors); err != nil {
+		t.Fatalf("streamed coloring not proper: %v", err)
+	}
+	if tr.Peak() > budget {
+		t.Fatalf("tracked peak %d over budget %d (one-shot peak %d)",
+			tr.Peak(), budget, oneTr.Peak())
+	}
+	if res.BudgetExceeded {
+		t.Fatal("budget reported exceeded")
+	}
+	if res.Shards < 2 {
+		t.Fatalf("budget a third of one-shot peak produced %d shard(s)", res.Shards)
+	}
+	if res.NumColors > 2*oneShot.NumColors {
+		t.Fatalf("streamed %d colors vs one-shot %d (factor > 2)",
+			res.NumColors, oneShot.NumColors)
+	}
+	t.Logf("one-shot: peak %.2f MB, %d colors; streamed: budget %.2f MB, peak %.2f MB, %d shards, %d colors",
+		float64(oneTr.Peak())/1e6, oneShot.NumColors,
+		float64(budget)/1e6, float64(tr.Peak())/1e6, res.Shards, res.NumColors)
 }
