@@ -400,3 +400,35 @@ func BenchmarkStreamShardSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("shard=%d", shard), func(b *testing.B) { run(b, shard) })
 	}
 }
+
+// BenchmarkRefine measures the palette-refinement claw-back on the
+// streamed n=20k d=0.5 Normal instance under a fixed budget: colors before
+// and after refinement, rounds spent, and the refinement pass's tracked
+// peak — the quality/memory curve of the quantum measurement-group saving
+// (CI publishes it as BENCH_refine.json).
+func BenchmarkRefine(b *testing.B) {
+	const n = 20000
+	o := picasso.RandomGraph(n, 0.5, 11)
+	arena := picasso.NewArena()
+	for i := 0; i < b.N; i++ {
+		var tr picasso.MemoryTracker
+		opts := picasso.Normal(3)
+		opts.Tracker = &tr
+		opts.Arena = arena
+		opts.MemoryBudgetBytes = 16 << 20
+		res, st, err := picasso.RefineStream(context.Background(), o, opts, picasso.RefineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := picasso.Verify(o, st.Colors); err != nil {
+				b.Fatalf("refined coloring not proper: %v", err)
+			}
+			b.ReportMetric(float64(res.NumColors), "colors-before")
+			b.ReportMetric(float64(st.ColorsAfter), "colors-after")
+			b.ReportMetric(float64(st.Rounds), "rounds")
+			b.ReportMetric(float64(st.HostPeakBytes), "peak-B")
+			b.ReportMetric(float64(st.TotalTime.Milliseconds()), "refine-ms")
+		}
+	}
+}

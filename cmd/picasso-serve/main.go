@@ -12,6 +12,8 @@
 //	                             jobs stop at the engine's next stage boundary
 //	POST   /v1/jobs/{id}/append  color new Pauli strings against a finished
 //	                             job's frozen grouping (no recoloring)
+//	POST   /v1/jobs/{id}/refine  palette-refine a finished job's grouping
+//	                             into fewer colors (parent stays served)
 //	GET    /v1/jobs/{id}/groups  color classes / unitary groups (when done)
 //	GET    /v1/healthz           liveness
 //	GET    /v1/stats             lifetime counters
@@ -55,13 +57,13 @@ func main() {
 	flag.Parse()
 
 	cacheB, err := jobspec.ParseBytes(*cacheBytes)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "picasso-serve: -cache-bytes: %v\n", err)
+	if err != nil || cacheB < 0 {
+		fmt.Fprintf(os.Stderr, "picasso-serve: -cache-bytes: bad size %q\n", *cacheBytes)
 		os.Exit(1)
 	}
 	budgetB, err := jobspec.ParseBytes(*budget)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "picasso-serve: -budget: %v\n", err)
+	if err != nil || budgetB < 0 {
+		fmt.Fprintf(os.Stderr, "picasso-serve: -budget: bad size %q\n", *budget)
 		os.Exit(1)
 	}
 

@@ -14,6 +14,8 @@
 //	picasso -strings paulis.txt -backend parallel -groups groups.txt
 //	picasso -random 200000:0.5 -budget 256MiB -verify   (streamed under a budget)
 //	picasso -strings paulis.txt -stream -shard 50000
+//	picasso -random 20000:0.5 -budget 16MiB -refine     (stream, then claw colors back)
+//	picasso -molecule "H6 3D sto3g" -refine-target 300  (refine toward a group count)
 //
 // The same job description is accepted by the picasso-serve HTTP service
 // (cmd/picasso-serve); both front ends share internal/jobspec.
@@ -50,6 +52,9 @@ func main() {
 		stream   = flag.Bool("stream", false, "color in shards with the partitioned streaming engine")
 		shard    = flag.Int("shard", 0, "streaming shard size (0 = derive from -budget; implies -stream)")
 		budget   = flag.String("budget", "", "host-memory budget, e.g. 512MiB or 2GB (implies -stream)")
+		refine   = flag.Bool("refine", false, "run the palette-refinement pass after coloring (claw back colors)")
+		refineR  = flag.Int("refine-rounds", 0, "max refinement rounds (0 = engine default; implies -refine)")
+		refineT  = flag.Int("refine-target", 0, "stop refining at this many colors (0 = converge; implies -refine)")
 		verify   = flag.Bool("verify", false, "verify the coloring against the input graph")
 		groupsF  = flag.String("groups", "", "write unitary groups to this file (Pauli inputs)")
 		verbose  = flag.Bool("v", false, "print per-iteration statistics")
@@ -73,6 +78,11 @@ func main() {
 	}
 	if *mode != jobspec.ModeCustom {
 		spec.PFrac, spec.Alpha = 0, 0
+	}
+	if *refine || *refineR != 0 || *refineT != 0 {
+		// != 0, not > 0: a negative value must reach Normalize's validation
+		// and fail fast, not silently drop the refinement.
+		spec.Refine = &jobspec.RefineSpec{Rounds: *refineR, TargetColors: *refineT}
 	}
 	if *stringsF != "" {
 		spec.Strings = readStrings(*stringsF)
@@ -156,12 +166,43 @@ func main() {
 		}
 	}
 
+	// The palette-refinement pass claws colors back from the finished
+	// coloring: verification and group output below run on the refined
+	// result.
+	finalColors := res.Colors
+	if ropts, ok := spec.RefineOptions(); ok {
+		if b := spec.RefineBudgetBytes(); b > 0 {
+			opts.MemoryBudgetBytes = b
+		}
+		var rst *picasso.RefineStats
+		if set != nil {
+			rst, err = picasso.RefinePauli(context.Background(), set, res.Colors, opts, ropts)
+		} else {
+			rst, err = picasso.Refine(context.Background(), oracle, res.Colors, opts, ropts)
+		}
+		if err != nil {
+			fatal("refinement failed: %v", err)
+		}
+		finalColors = rst.Colors
+		fmt.Printf("refined: %d -> %d colors (-%.1f%%) in %d rounds, %d/%d moved vertices recolored (%v, peak %.2f MB)\n",
+			rst.ColorsBefore, rst.ColorsAfter,
+			100*float64(rst.ClassesEliminated)/float64(max(rst.ColorsBefore, 1)),
+			rst.Rounds, rst.Moved-rst.Stuck, rst.Moved,
+			rst.TotalTime.Round(time.Millisecond), float64(rst.HostPeakBytes)/1e6)
+		if *verbose {
+			for _, r := range rst.RoundStats {
+				fmt.Printf("  round %2d: ceiling %6d  classes %5d  moved %6d  recolored %6d  stuck %6d  -> %6d colors\n",
+					r.Round, r.Ceiling, r.Classes, r.Moved, r.Recolored, r.Stuck, r.ColorsAfter)
+			}
+		}
+	}
+
 	if *verify {
 		var err error
 		if set != nil {
-			err = picasso.VerifyGrouping(set, res.Colors)
+			err = picasso.VerifyGrouping(set, finalColors)
 		} else {
-			err = picasso.Verify(oracle, res.Colors)
+			err = picasso.Verify(oracle, finalColors)
 		}
 		if err != nil {
 			fatal("VERIFICATION FAILED: %v", err)
@@ -170,7 +211,7 @@ func main() {
 	}
 
 	if *groupsF != "" && set != nil {
-		writeGroups(*groupsF, set, res.Colors)
+		writeGroups(*groupsF, set, finalColors)
 		fmt.Printf("groups written to %s\n", *groupsF)
 	}
 }

@@ -43,6 +43,17 @@ type Arena struct {
 	fixedIDs     []int32
 	fixedColors  []int32
 	directFailed []int32
+
+	// Refinement-only buffers (refine.go): per-round class bookkeeping —
+	// counts/order/remap over the current color ids, per-dense-class sizes —
+	// and the moved-set staging (ids, saved colors, surviving-class marks).
+	classCnt  []int32
+	classOrd  []int32
+	classMap  []int32
+	classSize []int32
+	moved     []int32
+	savedCol  []int32
+	stuckSeen []bool
 }
 
 // NewArena returns an empty arena; buffers grow on first use.

@@ -118,6 +118,14 @@ type engine struct {
 	shardIdx      int
 	ceil          int32
 	priorExceeded bool
+
+	// Refinement state (refine.go): when refineCeil > 0 the unit recolors an
+	// arbitrary vertex subset against the frozen rest of the coloring with
+	// the palette pinned to the existing colors [0, refineCeil) — one shared
+	// window every iteration (no per-iteration palette advance) and no
+	// singleton fallback (vertices that cannot move stay uncolored for the
+	// driver to restore, so a stuck vertex is a no-op, never improper).
+	refineCeil int32
 }
 
 // newEngine charges the persistent color array and prepares a run. opts
@@ -138,6 +146,13 @@ func newEngine(ctx context.Context, o graph.Oracle, opts *Options, streamed bool
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	return e
+}
+
+// newUnitRNG builds the deterministic per-unit RNG for key k (a shard's
+// first vertex, or n+round for refinement rounds — the domains are
+// disjoint, so a refinement pass never replays a shard's random stream).
+func newUnitRNG(seed int64, k int) *rand.Rand {
+	return rand.New(rand.NewSource(unitSeed(seed, k)))
 }
 
 // unitSeed derives a shard unit's RNG seed from the run seed and the
@@ -164,7 +179,7 @@ func (e *engine) initUnit(start, end int) {
 	e.base = 0
 	e.iter = 0
 	if e.streamed {
-		e.rng = rand.New(rand.NewSource(unitSeed(e.opts.Seed, start)))
+		e.rng = newUnitRNG(e.opts.Seed, start)
 	}
 }
 
@@ -177,10 +192,19 @@ func (e *engine) runUnit() error {
 			e.fallback()
 			break
 		}
+		before := len(e.active)
 		if err := e.iterate(); err != nil {
 			e.tr.Free(e.activeBytes)
 			e.activeBytes = 0
 			return err
+		}
+		if e.refineCeil > 0 && len(e.active) == before {
+			// A zero-progress refinement iteration: the palette never
+			// advances in refine mode, so every further resample faces the
+			// same odds that just colored nobody. Stop the unit — the
+			// leftovers are restored by the driver and retried in a later
+			// round rather than ground against a full iteration budget.
+			break
 		}
 	}
 	e.tr.Free(e.activeBytes)
@@ -197,6 +221,13 @@ func (e *engine) iterate() error {
 	e.iter++
 	m := len(e.active)
 	P := e.opts.paletteFor(m)
+	if e.refineCeil > 0 {
+		// Refinement recolors into the *existing* palette: every candidate
+		// list samples from all colors below the ceiling, so a moved vertex
+		// can land in any surviving class (P may exceed m — the usual
+		// fraction-of-active clamp does not apply).
+		P = int(e.refineCeil)
+	}
 	L := e.opts.listSizeFor(m, P)
 	st := IterStats{Iteration: e.iter, ActiveVertices: m, Palette: P, ListSize: L}
 	if e.streamed {
@@ -325,7 +356,12 @@ func (e *engine) iterate() error {
 	e.active = e.ar.nextActive(failed, e.active)
 	e.activeBytes = int64(len(e.active)) * 4
 	e.tr.Alloc(e.activeBytes)
-	e.base += int32(P)
+	if e.refineCeil == 0 {
+		// Refinement keeps base at 0: failed vertices retry the same bounded
+		// palette with fresh random lists instead of advancing to a fresh
+		// window (there is nothing above the ceiling to advance into).
+		e.base += int32(P)
+	}
 
 	e.res.TotalConflictEdges += st.ConflictEdges
 	e.res.TotalPairsTested += st.PairsTested
@@ -378,6 +414,11 @@ func (e *engine) fixedPass(cl *colorLists, forbidden []bool, st *IterStats) erro
 	P := int32(cl.P)
 	cross := newCrossOracle(e.o, e.active)
 	chunk := e.end - e.start
+	if e.refineCeil > 0 {
+		// Refinement units span [0, n) but their live memory must follow the
+		// moved set: chunk by the active count, not the unit range.
+		chunk = len(e.active)
+	}
 	if chunk < 4096 {
 		chunk = 4096
 	}
@@ -417,6 +458,13 @@ func (e *engine) fixedPass(cl *colorLists, forbidden []bool, st *IterStats) erro
 // safe regardless, since the fixed-color pass prunes against whatever is
 // in the colors array.
 func (e *engine) fallback() {
+	if e.refineCeil > 0 {
+		// Refinement has no palette above the ceiling to spill into: the
+		// remaining vertices stay uncolored and the driver restores their
+		// original colors — a capped round degrades to a partial round, it
+		// never mints new colors.
+		return
+	}
 	if e.streamed {
 		base := e.ceil
 		for i, v := range e.active {
@@ -427,6 +475,11 @@ func (e *engine) fallback() {
 			e.setColor(int(v), e.base+int32(i))
 		}
 	}
+	// Everything is colored now: empty the active set so a shard-boundary
+	// snapshot taken after this unit is Resumable and its Active list keeps
+	// its documented meaning ("global ids still uncolored") — a fallback
+	// shard is a legitimately continuable boundary like any other.
+	e.active = e.active[:0]
 	e.res.Fallback = true
 }
 

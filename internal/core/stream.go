@@ -118,7 +118,17 @@ func streamRun(ctx context.Context, o graph.Oracle, opts *Options, prev graph.Co
 		e.fixedEnd, e.nextStart = len(prev), len(prev)
 	case st != nil:
 		copy(e.colors, st.Colors)
+		// Trust the snapshot's ceiling only upward: recompute the floor from
+		// the colors themselves (at a shard boundary ceil is exactly
+		// max+1), so a zeroed/stale ceil field in a deserialized snapshot
+		// cannot make a later fallback mint colors that collide with the
+		// frozen frontier.
 		e.ceil = st.Ceil
+		for _, c := range st.Colors {
+			if c >= e.ceil {
+				e.ceil = c + 1
+			}
+		}
 		e.fixedEnd, e.nextStart = st.NextStart, st.NextStart
 		e.shardIdx = st.Shards
 		e.res.Shards = st.Shards

@@ -172,6 +172,65 @@ func TestStreamCheckpointResumeDeterminism(t *testing.T) {
 	}
 }
 
+func TestStreamFallbackCheckpointsResumable(t *testing.T) {
+	// A shard that hits the iteration cap finishes through the singleton
+	// fallback; its boundary snapshot must still be resumable (Active
+	// empty, colors complete — a fallback shard is a continuable boundary
+	// like any other), and resuming from it reproduces the full run.
+	o := graph.RandomOracle{N: 1200, P: 0.5, Seed: 7}
+	opts := Normal(5)
+	opts.ShardSize = 400
+	opts.MaxIterations = 1 // every shard ends in the fallback
+
+	var states []RunState
+	full := opts
+	full.Checkpoint = func(st RunState) { states = append(states, st) }
+	want, err := Stream(context.Background(), o, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Fallback {
+		t.Fatal("iteration cap never triggered the fallback")
+	}
+	if err := graph.VerifyOracle(o, want.Colors); err != nil {
+		t.Fatalf("fallback coloring not proper: %v", err)
+	}
+	for i, st := range states {
+		if !st.Resumable() {
+			t.Fatalf("fallback-shard snapshot %d not resumable (%d stale active ids)", i, len(st.Active))
+		}
+	}
+
+	got, err := ResumeStream(context.Background(), o, opts, &states[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want.Colors {
+		if got.Colors[v] != want.Colors[v] {
+			t.Fatalf("resume after fallback shard differs at vertex %d", v)
+		}
+	}
+
+	// A snapshot whose ceil field was zeroed in transit (older writer,
+	// truncation, hand edit) must not let a later fallback mint colors
+	// colliding with the frozen frontier: the ceiling is recomputed from
+	// the colors themselves, so the resumed run is bit-identical anyway.
+	corrupt := states[0]
+	corrupt.Ceil = 0
+	got2, err := ResumeStream(context.Background(), o, opts, &corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.VerifyOracle(o, got2.Colors); err != nil {
+		t.Fatalf("zeroed-ceil resume produced an improper coloring: %v", err)
+	}
+	for v := range want.Colors {
+		if got2.Colors[v] != want.Colors[v] {
+			t.Fatalf("zeroed-ceil resume differs at vertex %d", v)
+		}
+	}
+}
+
 func TestStreamCancellation(t *testing.T) {
 	o := graph.RandomOracle{N: 4000, P: 0.5, Seed: 99}
 	opts := Normal(1)

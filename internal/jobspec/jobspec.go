@@ -72,6 +72,51 @@ type Spec struct {
 	// run's tracker enforces; it also drives automatic shard sizing.
 	// Normalized to the exact-unit spelling of the parsed byte count.
 	Budget string `json:"budget,omitempty"`
+	// Refine, when non-nil, runs the palette-refinement pass after the
+	// coloring: rounds of dissolving the smallest color classes and
+	// recoloring their vertices below the shrinking ceiling, clawing back
+	// colors at streamed memory cost.
+	Refine *RefineSpec `json:"refine,omitempty"`
+}
+
+// RefineSpec parameterizes the post-coloring palette-refinement pass
+// (picasso.Refine). The zero value of every field means "engine default".
+// It doubles as the body of the service's POST /v1/jobs/{id}/refine, so
+// the validation rules live in exactly one place (Normalize).
+type RefineSpec struct {
+	// Rounds caps the refinement rounds (0 = engine default).
+	Rounds int `json:"rounds,omitempty"`
+	// TargetColors stops refinement once the color count reaches it
+	// (0 = refine until convergence).
+	TargetColors int `json:"target_colors,omitempty"`
+	// Budget is the refinement pass's own host-memory budget ("512MiB");
+	// empty inherits the job's budget. Normalized like Spec.Budget.
+	Budget string `json:"budget,omitempty"`
+}
+
+// Normalize validates the refine block and rewrites its budget to the
+// canonical exact-unit spelling — shared by Spec.Normalize and the
+// service's refine endpoint, so the two entry points cannot drift.
+func (r *RefineSpec) Normalize() error {
+	if r.Rounds < 0 {
+		return fmt.Errorf("jobspec: negative refine rounds %d", r.Rounds)
+	}
+	if r.TargetColors < 0 {
+		return fmt.Errorf("jobspec: negative refine target %d", r.TargetColors)
+	}
+	rb, err := ParseBytes(r.Budget)
+	if err != nil {
+		return err
+	}
+	if rb < 0 {
+		return fmt.Errorf("jobspec: negative refine budget %q", r.Budget)
+	}
+	if rb > 0 {
+		r.Budget = FormatBytes(rb)
+	} else {
+		r.Budget = ""
+	}
+	return nil
 }
 
 // Normalize validates the spec and rewrites it into canonical form in
@@ -191,6 +236,11 @@ func (s *Spec) Normalize() error {
 	if err != nil {
 		return err
 	}
+	if budget < 0 {
+		// ParseBytes accepts negatives (FormatBytes round-trip); a budget
+		// must not.
+		return fmt.Errorf("jobspec: negative budget %q", s.Budget)
+	}
 	if budget > 0 {
 		s.Budget = FormatBytes(budget) // canonical exact-unit spelling
 	} else {
@@ -198,6 +248,11 @@ func (s *Spec) Normalize() error {
 	}
 	if s.Shard > 0 || s.Budget != "" {
 		s.Stream = true // shard/budget knobs imply the streaming engine
+	}
+	if s.Refine != nil {
+		if err := s.Refine.Normalize(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -211,6 +266,36 @@ func (s Spec) Streamed() bool { return s.Stream }
 func (s Spec) BudgetBytes() int64 {
 	b, _ := ParseBytes(s.Budget)
 	return b
+}
+
+// Refined reports whether the job asks for the post-coloring
+// palette-refinement pass.
+func (s Spec) Refined() bool { return s.Refine != nil }
+
+// RefineOptions translates the refine block of a normalized spec into
+// engine options; the bool mirrors Refined. Budget wiring stays with the
+// caller (see RefineBudgetBytes).
+func (s Spec) RefineOptions() (picasso.RefineOptions, bool) {
+	if s.Refine == nil {
+		return picasso.RefineOptions{}, false
+	}
+	return picasso.RefineOptions{
+		Rounds:       s.Refine.Rounds,
+		TargetColors: s.Refine.TargetColors,
+	}, true
+}
+
+// RefineBudgetBytes returns the refinement pass's memory budget: its own
+// when the refine block names one, otherwise the job budget (0 = none).
+func (s Spec) RefineBudgetBytes() int64 {
+	if s.Refine == nil {
+		return 0
+	}
+	if s.Refine.Budget != "" {
+		b, _ := ParseBytes(s.Refine.Budget)
+		return b
+	}
+	return s.BudgetBytes()
 }
 
 // Canonical returns the canonical serialized form of a normalized spec —

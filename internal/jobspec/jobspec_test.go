@@ -39,6 +39,13 @@ func TestNormalizeTable(t *testing.T) {
 		{"bad strategy", Spec{Random: "100:0.5", Strategy: "bogus"}, "unknown strategy"},
 		{"bad backend", Spec{Random: "100:0.5", Backend: "tpu"}, "unknown backend"},
 		{"negative workers", Spec{Random: "100:0.5", Workers: -1}, "negative workers"},
+		{"negative budget", Spec{Random: "100:0.5", Budget: "-1GiB"}, "negative budget"},
+		{"refine ok", Spec{Random: "100:0.5", Refine: &RefineSpec{Rounds: 3}}, ""},
+		{"refine empty ok", Spec{Random: "100:0.5", Refine: &RefineSpec{}}, ""},
+		{"refine negative rounds", Spec{Random: "100:0.5", Refine: &RefineSpec{Rounds: -1}}, "negative refine rounds"},
+		{"refine negative target", Spec{Random: "100:0.5", Refine: &RefineSpec{TargetColors: -1}}, "negative refine target"},
+		{"refine bad budget", Spec{Random: "100:0.5", Refine: &RefineSpec{Budget: "lots"}}, "bad byte size"},
+		{"refine negative budget", Spec{Random: "100:0.5", Refine: &RefineSpec{Budget: "-1KiB"}}, "negative refine budget"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -53,6 +60,61 @@ func TestNormalizeTable(t *testing.T) {
 				t.Fatalf("Normalize = %v, want error containing %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+func TestSpecRefineBlock(t *testing.T) {
+	// The refine block normalizes its budget to the canonical spelling,
+	// translates into engine options, and distinguishes canonical forms.
+	spec := Spec{Random: "1000:0.5", Seed: 1, Budget: "8MiB",
+		Refine: &RefineSpec{Rounds: 5, TargetColors: 100, Budget: "2048 kib"}}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Refine.Budget != "2MiB" {
+		t.Errorf("refine budget normalized to %q", spec.Refine.Budget)
+	}
+	if !spec.Refined() {
+		t.Error("Refined() false with a refine block")
+	}
+	ropts, ok := spec.RefineOptions()
+	if !ok || ropts.Rounds != 5 || ropts.TargetColors != 100 {
+		t.Errorf("RefineOptions = %+v, %v", ropts, ok)
+	}
+	if got := spec.RefineBudgetBytes(); got != 2<<20 {
+		t.Errorf("RefineBudgetBytes = %d, want %d", got, 2<<20)
+	}
+
+	// Without its own budget the refinement inherits the job's.
+	inherit := Spec{Random: "1000:0.5", Seed: 1, Budget: "8MiB", Refine: &RefineSpec{}}
+	if err := inherit.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inherit.RefineBudgetBytes(); got != 8<<20 {
+		t.Errorf("inherited RefineBudgetBytes = %d, want %d", got, 8<<20)
+	}
+
+	// No refine block: no options, no budget.
+	plain := Spec{Random: "1000:0.5", Seed: 1}
+	if err := plain.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.RefineOptions(); ok || plain.Refined() || plain.RefineBudgetBytes() != 0 {
+		t.Error("plain spec reports a refinement")
+	}
+
+	// The block is part of the canonical form (a refined job is a
+	// different job), and equivalent spellings of it collide.
+	if plain.Canonical() == inherit.Canonical() {
+		t.Error("refine block absent from the canonical form")
+	}
+	other := Spec{Random: "1000:0.5", Seed: 1, Budget: "8192 KiB", Refine: &RefineSpec{}}
+	if err := other.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Canonical() != inherit.Canonical() {
+		t.Errorf("equivalent refine specs canonicalize differently:\n%s\n%s",
+			other.Canonical(), inherit.Canonical())
 	}
 }
 

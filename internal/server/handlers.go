@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
@@ -23,6 +24,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/refine", s.handleRefine)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/groups", s.handleGroups)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -60,6 +62,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, hit, err := s.Submit(spec)
+	s.respondSubmit(w, job, hit, err)
+}
+
+// respondSubmit writes the shared submission response: 503 + Retry-After
+// for a full or draining queue, 202 for newly queued work, 200 for a dedup
+// cache hit.
+func (s *Server) respondSubmit(w http.ResponseWriter, job *Job, hit bool, err error) {
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
 			w.Header().Set("Retry-After", "1")
@@ -69,7 +78,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-
 	s.mu.Lock()
 	resp := SubmitResponse{ID: job.ID, State: job.State, CacheHit: hit, Hits: job.Hits}
 	s.mu.Unlock()
@@ -78,6 +86,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, resp)
+}
+
+// doneParent resolves the parent job of a child-submission endpoint
+// (append, refine) and enforces the done-state gate: a missing parent or a
+// terminal-but-not-successful one (cancelled, failed) gets its typed error
+// written here and nil returned — never a child job that would replay empty
+// groups. A returned parent is done: its Spec, Result, Groups and lineage
+// fields are write-once before that state and safe to read lock-free.
+func (s *Server) doneParent(w http.ResponseWriter, id, kind, verb string) *Job {
+	s.mu.Lock()
+	parent, ok := s.jobs[id]
+	var state string
+	if ok {
+		s.touch(parent)
+		state = parent.State
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownJob, "unknown job id")
+		return nil
+	case state != StateDone:
+		writeErrorCode(w, http.StatusConflict, ErrCodeParentNotDone,
+			fmt.Sprintf("%s parent is %s; only done jobs can be %s", kind, state, verb))
+		return nil
+	}
+	return parent
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -137,34 +172,17 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		req.Strings[i] = t
 	}
 
-	s.mu.Lock()
-	parent, ok := s.jobs[id]
-	if ok {
-		s.touch(parent)
+	parent := s.doneParent(w, id, "append", "extended")
+	if parent == nil {
+		return
 	}
-	var parentState string
-	var pauliParent bool
-	var parentVertices int
-	if ok {
-		parentState = parent.State
-		pauliParent = parent.Spec.Instance != "" || len(parent.Spec.Strings) > 0
-		if parent.Result != nil {
-			parentVertices = parent.Result.Vertices
-		}
+	if parent.Spec.Instance == "" && len(parent.Spec.Strings) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, ErrCodeParentNotPauli, "append parent is not a Pauli job")
+		return
 	}
-	s.mu.Unlock()
-
-	switch {
-	case !ok:
-		writeError(w, http.StatusNotFound, "unknown job id")
-		return
-	case parentState != StateDone:
-		writeError(w, http.StatusConflict,
-			fmt.Sprintf("append parent is %s; only done jobs can be extended", parentState))
-		return
-	case !pauliParent:
-		writeError(w, http.StatusBadRequest, "append parent is not a Pauli job")
-		return
+	parentVertices := 0
+	if parent.Result != nil {
+		parentVertices = parent.Result.Vertices
 	}
 	if n := parentVertices + len(req.Strings); n > s.cfg.MaxVertices {
 		writeError(w, http.StatusRequestEntityTooLarge,
@@ -173,23 +191,39 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, hit, err := s.SubmitAppend(parent, req.Strings)
-	if err != nil {
-		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		writeError(w, http.StatusInternalServerError, err.Error())
+	s.respondSubmit(w, job, hit, err)
+}
+
+// handleRefine submits a refine job: the palette-refinement pass runs over
+// the frozen grouping of the finished parent job (any input kind — random
+// oracles refine too), publishing the compacted grouping as a new job while
+// the parent's own results stay served unchanged. Requires a done parent —
+// a cancelled or failed parent answers a typed 409, exactly like append.
+// Cancellable while running at every engine stage boundary; answers like
+// handleSubmit (202 new, 200 dedup).
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req RefineRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		// An empty body is a refinement with engine defaults.
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding refine request: %v", err))
 		return
 	}
-	s.mu.Lock()
-	resp := SubmitResponse{ID: job.ID, State: job.State, CacheHit: hit, Hits: job.Hits}
-	s.mu.Unlock()
-	status := http.StatusAccepted
-	if hit {
-		status = http.StatusOK
+	if err := req.Normalize(); err != nil {
+		// The spec refine block's rules verbatim; the canonical budget
+		// spelling it leaves behind keys the dedup.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	writeJSON(w, status, resp)
+
+	parent := s.doneParent(w, id, "refine", "refined")
+	if parent == nil {
+		return
+	}
+	job, hit, err := s.SubmitRefine(parent, req)
+	s.respondSubmit(w, job, hit, err)
 }
 
 // handleGroups serves a finished job's color classes. A job that exists
@@ -253,4 +287,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// writeErrorCode is writeError with a stable machine-readable code, used by
+// the job-control endpoints whose callers branch on the failure kind.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
 }

@@ -536,6 +536,323 @@ func TestAppendRejections(t *testing.T) {
 	}
 }
 
+// postPath POSTs a body to a job subresource and decodes either response
+// shape.
+func postPath(t *testing.T, ts *httptest.Server, path, body string) (int, SubmitResponse, ErrorResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	var er ErrorResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr, er
+}
+
+func TestRefineJobOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Parent: a random-graph job (refinement works on any input kind).
+	code, parent := postJob(t, ts, `{"random":"900:0.5","seed":8}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("parent submit: HTTP %d", code)
+	}
+	pst := waitState(t, ts, parent.ID)
+	if pst.State != StateDone {
+		t.Fatalf("parent failed: %s", pst.Error)
+	}
+
+	code, rj, _ := postPath(t, ts, "/v1/jobs/"+parent.ID+"/refine", `{"rounds":6}`)
+	if code != http.StatusAccepted || rj.ID == parent.ID {
+		t.Fatalf("refine submit: HTTP %d %+v", code, rj)
+	}
+	st := waitState(t, ts, rj.ID)
+	if st.State != StateDone {
+		t.Fatalf("refine job failed: %s", st.Error)
+	}
+	if st.RefineOf != parent.ID {
+		t.Fatalf("refine status lacks lineage: %+v", st)
+	}
+	if st.Result.ColorsBefore != pst.Result.NumColors {
+		t.Fatalf("refine started from %d colors, parent finished with %d",
+			st.Result.ColorsBefore, pst.Result.NumColors)
+	}
+	if st.Result.NumColors >= st.Result.ColorsBefore {
+		t.Fatalf("refinement won nothing: %d -> %d", st.Result.ColorsBefore, st.Result.NumColors)
+	}
+	if st.Result.RefineRounds == 0 {
+		t.Fatal("refine summary reports zero rounds")
+	}
+
+	// The compacted grouping still partitions the whole input; the parent's
+	// own groups stay served unchanged.
+	var gr GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+rj.ID+"/groups", &gr)
+	total := 0
+	for _, g := range gr.Groups {
+		total += len(g)
+	}
+	if total != 900 || gr.NumGroups != st.Result.NumColors {
+		t.Fatalf("refined groups cover %d vertices in %d groups: %+v", total, gr.NumGroups, st.Result)
+	}
+	var pg GroupsResponse
+	if code := getJSON(t, ts, "/v1/jobs/"+parent.ID+"/groups", &pg); code != http.StatusOK {
+		t.Fatalf("parent groups after refine: HTTP %d", code)
+	}
+	if pg.NumGroups != pst.Result.NumGroups {
+		t.Fatalf("refine mutated the parent's groups: %d -> %d", pst.Result.NumGroups, pg.NumGroups)
+	}
+
+	// Resubmitting the same refinement is a cache hit; different knobs are a
+	// different job.
+	code, dup, _ := postPath(t, ts, "/v1/jobs/"+parent.ID+"/refine", `{"rounds":6}`)
+	if code != http.StatusOK || !dup.CacheHit || dup.ID != rj.ID {
+		t.Fatalf("duplicate refine: HTTP %d %+v", code, dup)
+	}
+	code, other, _ := postPath(t, ts, "/v1/jobs/"+parent.ID+"/refine", `{"rounds":2}`)
+	if code != http.StatusAccepted || other.ID == rj.ID {
+		t.Fatalf("distinct refine knobs deduplicated: HTTP %d %+v", code, other)
+	}
+	waitState(t, ts, other.ID)
+
+	// An empty body refines with engine defaults.
+	code, def, _ := postPath(t, ts, "/v1/jobs/"+parent.ID+"/refine", ``)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("default refine: HTTP %d", code)
+	}
+	if st := waitState(t, ts, def.ID); st.State != StateDone {
+		t.Fatalf("default refine failed: %s", st.Error)
+	}
+}
+
+func TestRefinePauliJobOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, parent := postJob(t, ts, `{"strings":["IIXX","XXII","ZZZZ","XYXY","YXYX","IZIZ","ZIZI","XIXI"],"seed":6}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("parent submit: HTTP %d", code)
+	}
+	if st := waitState(t, ts, parent.ID); st.State != StateDone {
+		t.Fatalf("parent failed: %s", st.Error)
+	}
+	// Refine an append child: the rebuilt input must fold the appended
+	// strings back in before replaying the groups.
+	code, aj, _ := postPath(t, ts, "/v1/jobs/"+parent.ID+"/append", `{"strings":["YYII","IIYY"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("append submit: HTTP %d", code)
+	}
+	if st := waitState(t, ts, aj.ID); st.State != StateDone {
+		t.Fatalf("append failed: %s", st.Error)
+	}
+	code, rj, _ := postPath(t, ts, "/v1/jobs/"+aj.ID+"/refine", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("refine submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, rj.ID)
+	if st.State != StateDone {
+		t.Fatalf("refine of append failed: %s", st.Error)
+	}
+	if st.Result.Vertices != 10 {
+		t.Fatalf("refine of append covers %d vertices, want 10", st.Result.Vertices)
+	}
+	var gr GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+rj.ID+"/groups", &gr)
+	total := 0
+	for _, g := range gr.Groups {
+		total += len(g)
+	}
+	if total != 10 {
+		t.Fatalf("refined groups cover %d of 10 strings", total)
+	}
+
+	// Append to the refine job in turn: the refine parent's appended
+	// strings must fold into the rebuilt input, so the child covers 11
+	// vertices with the refined 10-vertex grouping frozen.
+	code, cj, _ := postPath(t, ts, "/v1/jobs/"+rj.ID+"/append", `{"strings":["ZXZX"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("append to refine job: HTTP %d", code)
+	}
+	cst := waitState(t, ts, cj.ID)
+	if cst.State != StateDone {
+		t.Fatalf("append to refine job failed: %s", cst.Error)
+	}
+	if cst.Result.Vertices != 11 || cst.AppendTo != rj.ID {
+		t.Fatalf("append to refine job result: %+v", cst)
+	}
+	var cg GroupsResponse
+	getJSON(t, ts, "/v1/jobs/"+cj.ID+"/groups", &cg)
+	for gi, pg := range gr.Groups { // the refined grouping is frozen in turn
+		members := map[int]bool{}
+		for _, v := range cg.Groups[gi] {
+			members[v] = true
+		}
+		for _, v := range pg {
+			if !members[v] {
+				t.Fatalf("append to refine job moved string %d out of group %d", v, gi)
+			}
+		}
+	}
+}
+
+// TestChildEndpointsRejectTerminalParents is the job-control audit: append
+// and refine against a parent that ended cancelled or failed must answer a
+// clean typed 409 — never a 500, never a child job replaying empty groups.
+func TestChildEndpointsRejectTerminalParents(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	// A failed parent: inject a doomed spec directly (HTTP admission would
+	// reject the device-backed backend).
+	spec := jobspec.Spec{Strings: []string{"XX", "ZZ"}, Backend: "gpu"}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	failed, _, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, ts, failed.ID); st.State != StateFailed {
+		t.Fatalf("doomed parent ended %s", st.State)
+	}
+
+	// A cancelled parent: block the single worker, cancel the queued job.
+	_, blocker := postJob(t, ts, `{"random":"12000:0.5","seed":44,"workers":1}`)
+	_, queued := postJob(t, ts, `{"strings":["XX","ZZ","YY"],"seed":44}`)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st := waitState(t, ts, queued.ID); st.State != StateCancelled {
+		t.Fatalf("queued parent ended %s", st.State)
+	}
+
+	for _, parent := range []struct{ name, id string }{
+		{"failed", failed.ID},
+		{"cancelled", queued.ID},
+	} {
+		for _, ep := range []struct{ path, body string }{
+			{"/append", `{"strings":["YY"]}`},
+			{"/refine", `{}`},
+		} {
+			code, _, er := postPath(t, ts, "/v1/jobs/"+parent.id+ep.path, ep.body)
+			if code != http.StatusConflict {
+				t.Errorf("%s parent %s: HTTP %d, want 409", parent.name, ep.path, code)
+				continue
+			}
+			if er.Code != ErrCodeParentNotDone {
+				t.Errorf("%s parent %s: code %q, want %q", parent.name, ep.path, er.Code, ErrCodeParentNotDone)
+			}
+			if !strings.Contains(er.Error, parent.name) {
+				t.Errorf("%s parent %s: error %q does not name the state", parent.name, ep.path, er.Error)
+			}
+		}
+	}
+
+	// Unknown parents carry their own code.
+	code, _, er := postPath(t, ts, "/v1/jobs/junknown00000000/refine", `{}`)
+	if code != http.StatusNotFound || er.Code != ErrCodeUnknownJob {
+		t.Errorf("unknown refine parent: HTTP %d code %q", code, er.Code)
+	}
+
+	// Malformed refine knobs are rejected before any parent lookup.
+	code, _, _ = postPath(t, ts, "/v1/jobs/"+failed.ID+"/refine", `{"rounds":-1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("negative rounds: HTTP %d", code)
+	}
+	code, _, _ = postPath(t, ts, "/v1/jobs/"+failed.ID+"/refine", `{"budget":"lots"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad budget: HTTP %d", code)
+	}
+	code, _, _ = postPath(t, ts, "/v1/jobs/"+failed.ID+"/refine", `{"budget":"-1GiB"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("negative budget: HTTP %d", code)
+	}
+
+	waitState(t, ts, blocker.ID)
+}
+
+func TestSpecRefineBlockJob(t *testing.T) {
+	// A spec carrying a refine block colors and refines in one job: the
+	// published grouping is the compacted one and the summary carries the
+	// pre-refinement count.
+	_, ts := newTestServer(t, Config{Workers: 2})
+	code, sr := postJob(t, ts, `{"random":"900:0.5","seed":12,"shard":300,"refine":{"rounds":4}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sr.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Result.ColorsBefore == 0 || st.Result.NumColors >= st.Result.ColorsBefore {
+		t.Fatalf("inline refinement won nothing: %+v", st.Result)
+	}
+	if st.Result.RefineRounds == 0 || st.Result.Shards != 3 {
+		t.Fatalf("summary lost the pipeline shape: %+v", st.Result)
+	}
+	if st.Result.NumGroups != st.Result.NumColors {
+		t.Fatalf("groups/colors mismatch: %+v", st.Result)
+	}
+
+	// The refine block is part of the canonical spec: the same job without
+	// it is a different id.
+	_, plain := postJob(t, ts, `{"random":"900:0.5","seed":12,"shard":300}`)
+	if plain.ID == sr.ID {
+		t.Fatal("refine block did not change the job id")
+	}
+	waitState(t, ts, plain.ID)
+}
+
+func TestSpecRefineKeepsServerDefaultBudget(t *testing.T) {
+	// A refine block with no budget of its own must not strip the server's
+	// default per-job budget off the refinement phase: the whole pipeline
+	// stays governed, and the summary's peak respects it.
+	budget := int64(8 << 20)
+	_, ts := newTestServer(t, Config{Workers: 1, DefaultBudgetBytes: budget})
+	code, sr := postJob(t, ts, `{"random":"1200:0.5","seed":7,"refine":{"rounds":3}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sr.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Result.PeakBytes == 0 || st.Result.PeakBytes > budget {
+		t.Fatalf("pipeline peak %d against default budget %d", st.Result.PeakBytes, budget)
+	}
+	if st.Result.BudgetExceeded {
+		t.Fatal("default budget reported exceeded")
+	}
+	if st.Result.RefineRounds == 0 {
+		t.Fatalf("refinement never ran: %+v", st.Result)
+	}
+
+	// An explicit refine budget equal to the inherited default is a no-op
+	// spelling: it must join the default-budget refine job, not recompute.
+	code, r1, _ := postPath(t, ts, "/v1/jobs/"+sr.ID+"/refine", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("default refine: HTTP %d", code)
+	}
+	waitState(t, ts, r1.ID)
+	code, r2, _ := postPath(t, ts, "/v1/jobs/"+sr.ID+"/refine", `{"budget":"8MiB"}`)
+	if code != http.StatusOK || r2.ID != r1.ID || !r2.CacheHit {
+		t.Fatalf("no-op budget spelling did not dedup: HTTP %d %+v vs %q", code, r2, r1.ID)
+	}
+}
+
 func TestCacheBoundedByResultBytes(t *testing.T) {
 	// Entry count alone would retain all jobs (CacheSize 100); the byte
 	// bound must evict: each n=400 job pins ≈ 3.5 KiB of groups, so a 6 KiB

@@ -33,6 +33,11 @@ type Job struct {
 	// submission, so a later parent eviction cannot strand the job).
 	Append *appendJob
 
+	// Refine, when non-nil, makes this a refine job: the frozen parent
+	// grouping (snapshotted like Append's) is the input coloring of a
+	// palette-refinement pass over the parent's rebuilt input.
+	Refine *refineJob
+
 	// ctx is cancelled by DELETE /v1/jobs/{id}; the engine observes it at
 	// its next stage boundary.
 	ctx    context.Context
@@ -55,6 +60,20 @@ type appendJob struct {
 	Groups   [][]int
 }
 
+// refineJob carries everything a refine job needs from its finished parent:
+// the refinement knobs, the parent's appended strings (so an append
+// parent's vertex set rebuilds exactly), and the parent's frozen groups —
+// the input coloring, snapshotted at submission so a later parent eviction
+// cannot strand the job.
+type refineJob struct {
+	ParentID     string
+	Rounds       int
+	TargetColors int
+	BudgetBytes  int64 // refinement budget (0 = the parent job's budget)
+	Strings      []string
+	Groups       [][]int
+}
+
 // JobID derives the deterministic job id from a canonical spec: the same
 // job spec always maps to the same id, on every server, which is what makes
 // resubmission idempotent and the result cache addressable.
@@ -73,6 +92,18 @@ func appendCanonical(parentCanonical string, strs []string) string {
 		panic(err)
 	}
 	return parentCanonical + "+append:" + string(blob)
+}
+
+// refineCanonical derives a refine job's cache key from the parent's
+// canonical spec and the refinement knobs: resubmitting the same refinement
+// of the same parent joins the existing refine job.
+func refineCanonical(parentCanonical string, req RefineRequest) string {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		// A struct of ints and strings cannot fail to marshal.
+		panic(err)
+	}
+	return parentCanonical + "+refine:" + string(blob)
 }
 
 // approxResultBytes estimates the bytes a finished job pins in the result
@@ -135,6 +166,9 @@ func (s *Server) statusLocked(j *Job) StatusResponse {
 	if j.Append != nil {
 		st.AppendTo = j.Append.ParentID
 		st.AppendCount = j.Append.Appended
+	}
+	if j.Refine != nil {
+		st.RefineOf = j.Refine.ParentID
 	}
 	if !j.StartedAt.IsZero() {
 		st.StartedAt = j.StartedAt.UTC().Format(time.RFC3339Nano)

@@ -38,7 +38,10 @@ type ProgressInfo struct {
 }
 
 // ResultSummary is the completed-run digest embedded in a status response;
-// the group membership itself lives behind /v1/jobs/{id}/groups.
+// the group membership itself lives behind /v1/jobs/{id}/groups. Jobs that
+// ran the palette-refinement pass — a refine block in the spec, or a
+// /refine child job — additionally report the pre-refinement color count
+// and the rounds spent.
 type ResultSummary struct {
 	Vertices           int     `json:"vertices"`
 	NumColors          int     `json:"num_colors"`
@@ -51,6 +54,8 @@ type ResultSummary struct {
 	Shards             int     `json:"shards,omitempty"`
 	PeakBytes          int64   `json:"peak_bytes,omitempty"`
 	BudgetExceeded     bool    `json:"budget_exceeded,omitempty"`
+	ColorsBefore       int     `json:"colors_before,omitempty"`
+	RefineRounds       int     `json:"refine_rounds,omitempty"`
 	ElapsedMS          float64 `json:"elapsed_ms"`
 }
 
@@ -59,6 +64,14 @@ type ResultSummary struct {
 type AppendRequest struct {
 	Strings []string `json:"strings"`
 }
+
+// RefineRequest is the body of POST /v1/jobs/{id}/refine: run the
+// palette-refinement pass over the finished parent job's frozen grouping,
+// clawing back colors without ever breaking an existing guarantee. Zero
+// fields mean engine defaults; Budget defaults to the parent's budget. It
+// is the spec's refine block verbatim, so validation and canonical budget
+// spelling come from jobspec.RefineSpec.Normalize.
+type RefineRequest = jobspec.RefineSpec
 
 // StatusResponse answers GET /v1/jobs/{id}.
 type StatusResponse struct {
@@ -71,6 +84,7 @@ type StatusResponse struct {
 	FinishedAt  string         `json:"finished_at,omitempty"`
 	AppendTo    string         `json:"append_to,omitempty"`    // parent id for append jobs
 	AppendCount int            `json:"append_count,omitempty"` // strings appended
+	RefineOf    string         `json:"refine_of,omitempty"`    // parent id for refine jobs
 	Progress    *ProgressInfo  `json:"progress,omitempty"`
 	Result      *ResultSummary `json:"result,omitempty"`
 	Error       string         `json:"error,omitempty"`
@@ -100,7 +114,20 @@ type StatsResponse struct {
 	Workers    int   `json:"workers"`
 }
 
-// ErrorResponse is the uniform error body.
+// ErrorResponse is the uniform error body. Code, when present, is a stable
+// machine-readable discriminator for errors clients branch on — the
+// job-control endpoints set it ("unknown_job", "parent_not_done",
+// "parent_not_pauli"), so a child submission against a cancelled or failed
+// parent is distinguishable from a transport-level 4xx without parsing the
+// message text.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// Stable ErrorResponse.Code values for the job-control endpoints.
+const (
+	ErrCodeUnknownJob     = "unknown_job"
+	ErrCodeParentNotDone  = "parent_not_done"
+	ErrCodeParentNotPauli = "parent_not_pauli"
+)

@@ -110,6 +110,9 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 	if job.Append != nil {
 		return s.colorAppend(job, opts)
 	}
+	if job.Refine != nil {
+		return s.colorRefine(job, opts)
+	}
 
 	oracle, set, err := job.Spec.BuildInput()
 	if err != nil {
@@ -129,8 +132,144 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 	if err != nil {
 		return nil, nil, err
 	}
+
+	// Specs with a refine block run the palette-refinement pass in the same
+	// job: the first-pass coloring feeds Refine, and the published grouping
+	// is the compacted one.
+	if ropts, ok := job.Spec.RefineOptions(); ok {
+		// Override only when the spec names a refinement budget (its own or
+		// the job's): a spec with neither keeps the server's default per-job
+		// budget already wired into opts.
+		if b := job.Spec.RefineBudgetBytes(); b > 0 {
+			opts.MemoryBudgetBytes = b
+		}
+		var rst *picasso.RefineStats
+		if set != nil {
+			rst, err = picasso.RefinePauli(job.ctx, set, res.Colors, opts, ropts)
+		} else {
+			rst, err = picasso.Refine(job.ctx, oracle, res.Colors, opts, ropts)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		groups := picasso.ColorGroups(rst.Colors)
+		sum := summarize(res, groups)
+		refineSummarize(sum, res.NumColors, rst)
+		return sum, groups, nil
+	}
+
 	groups := picasso.ColorGroups(res.Colors)
 	return summarize(res, groups), groups, nil
+}
+
+// colorRefine rebuilds the parent's input (base spec plus any appended
+// strings), replays the parent's frozen groups as the input coloring, and
+// runs the palette-refinement pass over it. The parent grouping was proper
+// by construction; refinement keeps it proper while shrinking the group
+// count, and the job's groups are the compacted partition.
+func (s *Server) colorRefine(job *Job, opts picasso.Options) (*ResultSummary, [][]int, error) {
+	oracle, set, err := job.Spec.BuildInput()
+	if err != nil {
+		return nil, nil, err
+	}
+	if set != nil {
+		if err := appendStringsToSet(set, job.Refine.Strings); err != nil {
+			return nil, nil, err
+		}
+	}
+	n := 0
+	if set != nil {
+		n = set.Len()
+	} else {
+		n = oracle.NumVertices()
+	}
+
+	// The parent groups must cover the rebuilt input exactly: refinement —
+	// unlike append — recolors only what already has a color.
+	prevLen := 0
+	for _, group := range job.Refine.Groups {
+		prevLen += len(group)
+	}
+	if prevLen != n {
+		return nil, nil, fmt.Errorf("refine parent groups cover %d of %d vertices", prevLen, n)
+	}
+	prev, err := replayGroups(job.Refine.Groups, n)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if job.Refine.BudgetBytes > 0 {
+		opts.MemoryBudgetBytes = job.Refine.BudgetBytes
+	}
+	ropts := picasso.RefineOptions{Rounds: job.Refine.Rounds, TargetColors: job.Refine.TargetColors}
+	var rst *picasso.RefineStats
+	if set != nil {
+		rst, err = picasso.RefinePauli(job.ctx, set, prev, opts, ropts)
+	} else {
+		rst, err = picasso.Refine(job.ctx, oracle, prev, opts, ropts)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := picasso.ColorGroups(rst.Colors)
+	sum := &ResultSummary{Vertices: n, NumGroups: len(groups)}
+	refineSummarize(sum, rst.ColorsBefore, rst)
+	return sum, groups, nil
+}
+
+// appendStringsToSet parses a child job's carried strings and appends them
+// to the rebuilt base set, enforcing the parent's qubit width — the shared
+// fold-in step of every append/refine chain.
+func appendStringsToSet(set *picasso.PauliSet, strs []string) error {
+	for i, str := range strs {
+		p, err := picasso.ParsePauliStrings([]string{str})
+		if err != nil {
+			return fmt.Errorf("appended string %d: %w", i, err)
+		}
+		if p.Qubits() != set.Qubits() {
+			return fmt.Errorf("appended string %d has %d qubits, parent has %d",
+				i, p.Qubits(), set.Qubits())
+		}
+		set.Append(p.At(0))
+	}
+	return nil
+}
+
+// replayGroups converts a frozen group partition over n vertices back into
+// a coloring (class ordinal = color — proper, since classes are exactly the
+// parent's color classes), validating bounds and coverage.
+func replayGroups(groups [][]int, n int) (picasso.Coloring, error) {
+	prev := make(picasso.Coloring, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for gi, group := range groups {
+		for _, v := range group {
+			if v < 0 || v >= n || prev[v] != -1 {
+				return nil, fmt.Errorf("parent groups corrupt at vertex %d", v)
+			}
+			prev[v] = int32(gi)
+		}
+	}
+	return prev, nil
+}
+
+// refineSummarize folds a refinement pass into a result summary: the
+// published color count is the refined one, the pre-refinement count and
+// rounds ride along, iteration and pair-test work accumulates on top of
+// whatever the first pass already recorded (so inline-refine jobs report
+// the whole pipeline, matching their live Progress counters), and a budget
+// violation in either phase is reported.
+func refineSummarize(sum *ResultSummary, colorsBefore int, rst *picasso.RefineStats) {
+	sum.NumColors = rst.ColorsAfter
+	sum.ColorsBefore = colorsBefore
+	sum.RefineRounds = rst.Rounds
+	sum.Iterations += rst.Iterations
+	sum.PairsTested += rst.PairsTested
+	if rst.HostPeakBytes > sum.PeakBytes {
+		sum.PeakBytes = rst.HostPeakBytes
+	}
+	sum.BudgetExceeded = sum.BudgetExceeded || rst.BudgetExceeded
 }
 
 // colorAppend rebuilds the parent's base input, appends the job's full
@@ -147,16 +286,8 @@ func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, []
 		return nil, nil, fmt.Errorf("append parent is not a Pauli job")
 	}
 	base := set.Len()
-	for i, str := range job.Append.Strings {
-		p, err := picasso.ParsePauliStrings([]string{str})
-		if err != nil {
-			return nil, nil, fmt.Errorf("appended string %d: %w", i, err)
-		}
-		if p.Qubits() != set.Qubits() {
-			return nil, nil, fmt.Errorf("appended string %d has %d qubits, parent has %d",
-				i, p.Qubits(), set.Qubits())
-		}
-		set.Append(p.At(0))
+	if err := appendStringsToSet(set, job.Append.Strings); err != nil {
+		return nil, nil, err
 	}
 
 	// The frozen prefix is whatever the parent's groups cover: the base
@@ -171,17 +302,9 @@ func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, []
 		return nil, nil, fmt.Errorf("append parent groups cover %d strings, expected between %d and %d",
 			prevLen, base, set.Len())
 	}
-	prev := make(picasso.Coloring, prevLen)
-	for i := range prev {
-		prev[i] = -1
-	}
-	for gi, group := range job.Append.Groups {
-		for _, v := range group {
-			if v < 0 || v >= prevLen || prev[v] != -1 {
-				return nil, nil, fmt.Errorf("append parent groups corrupt at vertex %d", v)
-			}
-			prev[v] = int32(gi)
-		}
+	prev, err := replayGroups(job.Append.Groups, prevLen)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	res, err := picasso.ExtendPauli(job.ctx, set, prev, opts)

@@ -187,9 +187,9 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, bool, error) {
 func (s *Server) SubmitAppend(parent *Job, strs []string) (*Job, bool, error) {
 	canonical := appendCanonical(parent.Canonical, strs)
 	combined := strs
-	if parent.Append != nil {
-		combined = make([]string, 0, len(parent.Append.Strings)+len(strs))
-		combined = append(combined, parent.Append.Strings...)
+	if prior := parentAppendedStrings(parent); len(prior) > 0 {
+		combined = make([]string, 0, len(prior)+len(strs))
+		combined = append(combined, prior...)
 		combined = append(combined, strs...)
 	}
 	return s.enqueue(&Job{
@@ -203,6 +203,63 @@ func (s *Server) SubmitAppend(parent *Job, strs []string) (*Job, bool, error) {
 			Groups:   parent.Groups,
 		},
 	})
+}
+
+// SubmitRefine registers a refine job: the palette-refinement pass runs
+// over the finished parent job's frozen grouping, on the parent's rebuilt
+// input, and publishes the compacted grouping as this job's result (the
+// parent's own groups stay served unchanged). The parent's groups — and,
+// for append parents, their appended strings — are snapshotted into the job
+// at submission, so later cache eviction of the parent cannot strand it.
+// The bool reports a cache hit, exactly as for Submit.
+func (s *Server) SubmitRefine(parent *Job, req RefineRequest) (*Job, bool, error) {
+	// The handler normalized req; parse its budget once here into the job
+	// so the worker never re-parses (and can never silently swallow) it.
+	rb, err := jobspec.ParseBytes(req.Budget)
+	if err != nil || rb < 0 {
+		return nil, false, fmt.Errorf("server: bad refine budget %q", req.Budget)
+	}
+	// An explicit budget equal to what the job would inherit anyway (the
+	// parent spec's, or the server default) is a no-op spelling: collapse
+	// it before deriving the dedup key, so both requests join one job.
+	if effective := parent.Spec.BudgetBytes(); rb > 0 {
+		if effective == 0 {
+			effective = s.cfg.DefaultBudgetBytes
+		}
+		if rb == effective {
+			rb, req.Budget = 0, ""
+		}
+	}
+	canonical := refineCanonical(parent.Canonical, req)
+	strs := parentAppendedStrings(parent)
+	return s.enqueue(&Job{
+		ID:        JobID(canonical),
+		Spec:      parent.Spec,
+		Canonical: canonical,
+		Refine: &refineJob{
+			ParentID:     parent.ID,
+			Rounds:       req.Rounds,
+			TargetColors: req.TargetColors,
+			BudgetBytes:  rb,
+			Strings:      strs,
+			Groups:       parent.Groups,
+		},
+	})
+}
+
+// parentAppendedStrings returns the strings a child job must fold into the
+// rebuilt base input so the parent's groups cover the rebuilt vertex set
+// exactly: an append parent carries them in Append, a refine parent in
+// Refine (inherited from its own lineage). Every child-job submission goes
+// through this one helper, so append/refine chains compose in any order.
+func parentAppendedStrings(parent *Job) []string {
+	switch {
+	case parent.Append != nil:
+		return parent.Append.Strings
+	case parent.Refine != nil:
+		return parent.Refine.Strings
+	}
+	return nil
 }
 
 // enqueue dedups and queues a prepared job. Callers fill identity fields;

@@ -102,6 +102,14 @@ type (
 	// (Options.Checkpoint). A shard-boundary snapshot (Resumable()) resumes
 	// a streamed run via ResumeStream.
 	RunState = core.RunState
+	// RefineOptions shapes a palette-refinement pass (rounds, target color
+	// count, stall detection, per-round moved-set cap, wall-clock cap).
+	RefineOptions = core.RefineOptions
+	// RefineStats is the outcome of a refinement pass: the refined coloring
+	// plus per-round and aggregate work records.
+	RefineStats = core.RefineStats
+	// RefineRound records one refinement round.
+	RefineRound = core.RefineRound
 )
 
 // Conflict-graph coloring strategies.
@@ -195,6 +203,34 @@ func ExtendPauli(ctx context.Context, set *PauliSet, prev Coloring, opts Options
 // captured by Options.Checkpoint, with the same oracle and Options.
 func ResumeStream(ctx context.Context, o Oracle, opts Options, st *RunState) (*Result, error) {
 	return core.ResumeStream(ctx, o, opts, st)
+}
+
+// Refine improves a finished proper coloring by iteratively eliminating its
+// smallest color classes: each round dissolves the highest-numbered classes
+// and recolors their vertices into the surviving palette against the frozen
+// remainder (the streaming engine's fixed-color pass), so peak memory
+// follows the per-round moved set, never the graph. The refined coloring is
+// returned in RefineStats.Colors (prev is untouched); it stays proper, its
+// color count never increases round over round, and a fixed Options.Seed
+// makes the run deterministic. In the quantum application every eliminated
+// color is a measurement group — a family of circuit executions — saved.
+func Refine(ctx context.Context, o Oracle, prev Coloring, opts Options, ropts RefineOptions) (*RefineStats, error) {
+	return core.Refine(ctx, o, prev, opts, ropts)
+}
+
+// RefinePauli is Refine over a Pauli-string set's commutation graph: it
+// compacts an existing unitary grouping into fewer groups without ever
+// breaking the clique-partition guarantee.
+func RefinePauli(ctx context.Context, set *PauliSet, prev Coloring, opts Options, ropts RefineOptions) (*RefineStats, error) {
+	return core.Refine(ctx, core.NewPauliOracle(set), prev, opts, ropts)
+}
+
+// RefineStream is the end-to-end memory-bounded quality pipeline: a
+// streamed first pass under Options.MemoryBudgetBytes / ShardSize, then a
+// refinement pass under the same Options — the coloring a one-shot run
+// could not afford, then most of the colors the memory trade gave up.
+func RefineStream(ctx context.Context, o Oracle, opts Options, ropts RefineOptions) (*Result, *RefineStats, error) {
+	return core.RefineStream(ctx, o, opts, ropts)
 }
 
 // ColorStrings parses raw Pauli letter strings and colors their commutation

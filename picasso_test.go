@@ -191,3 +191,57 @@ func TestStreamedBudgetAcceptance(t *testing.T) {
 		float64(oneTr.Peak())/1e6, oneShot.NumColors,
 		float64(budget)/1e6, float64(tr.Peak())/1e6, res.Shards, res.NumColors)
 }
+
+// TestRefineStreamedAcceptance is this PR's acceptance gate: on the
+// streamed n = 20k d = 0.5 Normal benchmark under a PR-4-style budget (a
+// third of the measured one-shot peak), the palette-refinement pass cuts
+// the streamed color count by at least 10% while the tracked peak stays
+// under the budget, and the refined coloring verifies proper. Every
+// eliminated color is a measurement group saved in the quantum workload.
+func TestRefineStreamedAcceptance(t *testing.T) {
+	const n = 20000
+	o := picasso.RandomGraph(n, 0.5, 11)
+
+	var oneTr picasso.MemoryTracker
+	one := picasso.Normal(3)
+	one.Tracker = &oneTr
+	if _, err := picasso.Color(o, one); err != nil {
+		t.Fatal(err)
+	}
+	budget := oneTr.Peak() / 3
+
+	var tr picasso.MemoryTracker
+	opts := picasso.Normal(3)
+	opts.Tracker = &tr
+	opts.MemoryBudgetBytes = budget
+	res, st, err := picasso.RefineStream(context.Background(), o, opts, picasso.RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.Verify(o, st.Colors); err != nil {
+		t.Fatalf("refined coloring not proper: %v", err)
+	}
+	if st.ColorsBefore != res.NumColors {
+		t.Fatalf("refinement started from %d colors, stream produced %d", st.ColorsBefore, res.NumColors)
+	}
+	cut := float64(res.NumColors-st.ColorsAfter) / float64(res.NumColors)
+	if cut < 0.10 {
+		t.Fatalf("refinement cut %.1f%% of %d streamed colors, want >= 10%%", 100*cut, res.NumColors)
+	}
+	if res.HostPeakBytes > budget || st.HostPeakBytes > budget {
+		t.Fatalf("phase peaks %d/%d over budget %d", res.HostPeakBytes, st.HostPeakBytes, budget)
+	}
+	if res.BudgetExceeded || st.BudgetExceeded {
+		t.Fatal("budget reported exceeded")
+	}
+	prev := st.ColorsBefore
+	for _, r := range st.RoundStats {
+		if r.ColorsAfter > prev {
+			t.Fatalf("round %d raised colors %d -> %d", r.Round, prev, r.ColorsAfter)
+		}
+		prev = r.ColorsAfter
+	}
+	t.Logf("streamed: %d colors under %.2f MB budget (%d shards); refined: %d colors (-%.1f%%) in %d rounds, refine peak %.2f MB",
+		res.NumColors, float64(budget)/1e6, res.Shards,
+		st.ColorsAfter, 100*cut, st.Rounds, float64(st.HostPeakBytes)/1e6)
+}
