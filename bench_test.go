@@ -432,3 +432,52 @@ func BenchmarkRefine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamPipelined compares the sequential, pipelined, and
+// speculative shard schedules on the streaming engine's n=20k d=0.5 shard
+// sweep: wall time, tracked host peak (two footprints in flight under
+// pipelining), and the overlap the schedule achieved (CI publishes it as
+// BENCH_pipeline.json). The coloring is asserted proper on the first
+// iteration of every variant; the pipelined variant is additionally
+// bit-identical to sequential per seed (TestStreamPipelinedAcceptance).
+func BenchmarkStreamPipelined(b *testing.B) {
+	const n = 20000
+	o := picasso.RandomGraph(n, 0.5, 11)
+	run := func(b *testing.B, shard int, cfg func(*picasso.Options)) {
+		for i := 0; i < b.N; i++ {
+			var tr picasso.MemoryTracker
+			opts := picasso.Normal(3)
+			opts.Tracker = &tr
+			opts.ShardSize = shard
+			opts.MemoryBudgetBytes = 64 << 20
+			cfg(&opts)
+			res, err := picasso.Stream(context.Background(), o, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				if err := picasso.Verify(o, res.Colors); err != nil {
+					b.Fatalf("coloring not proper: %v", err)
+				}
+				b.ReportMetric(float64(tr.Peak()), "peak-B")
+				b.ReportMetric(float64(res.NumColors), "colors")
+				b.ReportMetric(res.OverlapRatio, "overlap")
+				b.ReportMetric(float64(res.PipelinedShards), "pipelined-shards")
+				b.ReportMetric(float64(res.SpeculativeConflicts), "spec-conflicts")
+			}
+		}
+	}
+	variants := []struct {
+		name string
+		cfg  func(*picasso.Options)
+	}{
+		{"seq", func(*picasso.Options) {}},
+		{"pipe", func(o *picasso.Options) { o.PipelineShards = true }},
+		{"spec", func(o *picasso.Options) { o.Speculate = 3 }},
+	}
+	for _, shard := range []int{2500, 5000, 10000} {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/shard=%d", v.name, shard), func(b *testing.B) { run(b, shard, v.cfg) })
+		}
+	}
+}

@@ -53,6 +53,8 @@ func main() {
 		maxVerts   = flag.Int("max-vertices", 1<<20, "reject jobs larger than this many vertices")
 		backend    = flag.String("backend", "", "default conflict-build backend for specs that leave it empty")
 		budget     = flag.String("budget", "", "default per-job host-memory budget for specs without one, e.g. 512MiB")
+		pipeline   = flag.Bool("pipeline", false, "pipeline streamed jobs that set neither pipeline nor speculate")
+		speculate  = flag.Int("speculate", 0, "speculative lanes for streamed jobs that set neither knob (>=2)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 		MaxVertices:        *maxVerts,
 		DefaultBackend:     *backend,
 		DefaultBudgetBytes: budgetB,
+		DefaultPipeline:    *pipeline,
+		DefaultSpeculate:   *speculate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)

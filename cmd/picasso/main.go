@@ -52,6 +52,8 @@ func main() {
 		stream   = flag.Bool("stream", false, "color in shards with the partitioned streaming engine")
 		shard    = flag.Int("shard", 0, "streaming shard size (0 = derive from -budget; implies -stream)")
 		budget   = flag.String("budget", "", "host-memory budget, e.g. 512MiB or 2GB (implies -stream)")
+		pipeline = flag.Bool("pipeline", false, "overlap each shard's build with its predecessor's coloring (implies -stream)")
+		specul   = flag.Int("speculate", 0, "color this many shards concurrently with cross-shard repair (>=2; implies -stream)")
 		refine   = flag.Bool("refine", false, "run the palette-refinement pass after coloring (claw back colors)")
 		refineR  = flag.Int("refine-rounds", 0, "max refinement rounds (0 = engine default; implies -refine)")
 		refineT  = flag.Int("refine-target", 0, "stop refining at this many colors (0 = converge; implies -refine)")
@@ -62,19 +64,21 @@ func main() {
 	flag.Parse()
 
 	spec := jobspec.Spec{
-		Random:   *random,
-		Instance: *molecule,
-		Target:   *target,
-		Mode:     *mode,
-		PFrac:    *pfrac,
-		Alpha:    *alpha,
-		Strategy: *strategy,
-		Backend:  *backendF,
-		Seed:     *seed,
-		Workers:  *workers,
-		Stream:   *stream,
-		Shard:    *shard,
-		Budget:   *budget,
+		Random:    *random,
+		Instance:  *molecule,
+		Target:    *target,
+		Mode:      *mode,
+		PFrac:     *pfrac,
+		Alpha:     *alpha,
+		Strategy:  *strategy,
+		Backend:   *backendF,
+		Seed:      *seed,
+		Workers:   *workers,
+		Stream:    *stream,
+		Shard:     *shard,
+		Budget:    *budget,
+		Pipeline:  *pipeline,
+		Speculate: *specul,
 	}
 	if *mode != jobspec.ModeCustom {
 		spec.PFrac, spec.Alpha = 0, 0
@@ -146,6 +150,14 @@ func main() {
 	fmt.Printf("host peak memory (tracked): %.2f MB\n", float64(res.HostPeakBytes)/1e6)
 	if res.Shards > 0 {
 		fmt.Printf("streamed: %d shards, %d cross-frontier pair tests\n", res.Shards, res.FixedPairsTested)
+		if res.PipelinedShards > 0 {
+			fmt.Printf("pipelined: %d shards overlapped, %.0f%% of build time hidden\n",
+				res.PipelinedShards, 100*res.OverlapRatio)
+		}
+		if spec.Speculate >= 2 {
+			fmt.Printf("speculated: %d lanes, %d cross-shard conflicts repaired (%d recolored in palette, %.0f%% of lane time hidden)\n",
+				spec.Speculate, res.SpeculativeConflicts, res.RepairRecolors, 100*res.OverlapRatio)
+		}
 	}
 	if b := spec.BudgetBytes(); b > 0 {
 		verdict := "respected"

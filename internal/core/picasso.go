@@ -49,6 +49,20 @@ type Result struct {
 	FixedPairsTested int64
 	// Shards counts the completed stream units (0 for one-shot runs).
 	Shards int
+	// PipelinedShards counts the stream units whose build stage actually
+	// overlapped a predecessor's coloring (0 when pipelining was off, fell
+	// back to sequential under the budget governor, or never got to overlap).
+	PipelinedShards int
+	// OverlapRatio is the fraction of total prebuild time hidden behind
+	// concurrent coloring in a pipelined run (0 when not pipelined): 1.0
+	// means every build finished before its adopter asked for it.
+	OverlapRatio float64
+	// SpeculativeConflicts counts vertices that lost a cross-shard collision
+	// between speculatively colored shards and were sent to repair.
+	SpeculativeConflicts int
+	// RepairRecolors counts the losers the repair pass recolored below the
+	// group ceiling (the rest were finished with fresh singleton colors).
+	RepairRecolors int
 	// Fallback reports that MaxIterations was hit and the remaining
 	// vertices were finished with fresh singleton colors.
 	Fallback bool

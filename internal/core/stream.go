@@ -141,13 +141,40 @@ func streamRun(ctx context.Context, o graph.Oracle, opts *Options, prev graph.Co
 	if shard == 0 && st != nil {
 		shard = st.Shard
 	}
+	// The concurrency governor: how many shard units may hold iteration
+	// memory at once. Pipelining needs two in-flight footprints, speculation
+	// S of them; under a budget the lane count shrinks until the combined
+	// worst case fits the headroom, degrading all the way to the sequential
+	// loop rather than letting MemoryBudgetBytes go quietly dishonest.
+	lanes := 1
+	if want := opts.streamLanes(); want > 1 {
+		lanes = want
+		if b := opts.MemoryBudgetBytes; b > 0 {
+			for lanes > 1 && int64(lanes)*shardFootprint(opts, o, e.n, minShard) > b-baseline {
+				lanes--
+			}
+		}
+	}
 	if shard == 0 {
-		shard = autoShard(opts, o, e.n, e.n-e.nextStart, baseline)
+		shard = autoShard(opts, o, e.n, e.n-e.nextStart, baseline, lanes)
 	}
 	if shard < 1 {
 		shard = 1
 	}
+	if lanes > 1 && opts.MemoryBudgetBytes > 0 {
+		// An explicit ShardSize skipped autoShard's per-lane sizing: re-check
+		// that the requested shard fits the budget lanes-wide.
+		for lanes > 1 && int64(lanes)*shardFootprint(opts, o, e.n, shard) > opts.MemoryBudgetBytes-baseline {
+			lanes--
+		}
+	}
 	e.shard = shard
+	if lanes > 1 {
+		if opts.Speculate >= 2 {
+			return e.streamSpeculative(baseline, lanes)
+		}
+		return e.streamPipelined(baseline)
+	}
 
 	for e.nextStart < e.n {
 		start := e.nextStart
@@ -203,19 +230,25 @@ func shardFootprint(opts *Options, o graph.Oracle, n, B int) int64 {
 }
 
 // autoShard derives the initial shard size from the budget headroom: the
-// largest B in [minShard, remaining] whose worst-case footprint fits.
-// Without a budget it falls back to the knob-free default. When even the
-// minimum shard does not fit, it returns minShard anyway — the run degrades
-// (and reports BudgetExceeded) instead of refusing.
-func autoShard(opts *Options, o graph.Oracle, n, remaining int, baseline int64) int {
+// largest B in [minShard, remaining] whose worst-case footprint fits lanes
+// concurrent copies of (lanes is 1 for the sequential loop, 2 for the
+// pipelined stream, S for speculation — each in-flight unit holds a full
+// iteration footprint). Without a budget it falls back to the knob-free
+// default. When even the minimum shard does not fit, it returns minShard
+// anyway — the run degrades (and reports BudgetExceeded) instead of
+// refusing.
+func autoShard(opts *Options, o graph.Oracle, n, remaining int, baseline int64, lanes int) int {
 	if remaining < 1 {
 		return minShard
+	}
+	if lanes < 1 {
+		lanes = 1
 	}
 	budget := opts.MemoryBudgetBytes
 	if budget <= 0 {
 		return defaultShardSize(remaining)
 	}
-	headroom := budget - baseline
+	headroom := (budget - baseline) / int64(lanes)
 	if shardFootprint(opts, o, n, minShard) >= headroom {
 		return minShard
 	}
@@ -266,6 +299,51 @@ func nextShard(cur, lastLen int, tr *memtrack.Tracker, budget, baseline, peakBef
 		perVertex = perVertex * 5 / 4
 	}
 	target := (budget - baseline) * 7 / 10 / perVertex
+	next := target
+	if grown := int64(cur) * 4; next > grown {
+		next = grown
+	}
+	if next < minShard {
+		next = minShard
+	}
+	return int(next)
+}
+
+// nextShardConcurrent is nextShard's counterpart for multi-lane execution.
+// The sequential retarget divides the run tracker's peak delta by the shard
+// length — but under pipelining that peak includes the overlapped
+// neighbor's build, so scaling it per vertex would overestimate cost and
+// shrink shards forever. Here unitUsed is the finished unit's *own* bytes
+// (its lane child tracker's peak: exact per-unit attribution, never
+// inflated by a neighbor in flight), while the halve-on-crossing test still
+// reads the shared root peak — the budget is a promise about the lanes
+// combined. The retarget then reserves headroom for lanes concurrent
+// footprints.
+func nextShardConcurrent(cur, lastLen int, unitUsed, budget, baseline, peak, peakBefore int64, hadFrontier bool, lanes int) int {
+	if budget <= 0 || lastLen <= 0 {
+		return cur
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	if peak > budget && peak > peakBefore {
+		// The combined in-flight footprint crossed the budget on our watch:
+		// halve, exactly like the sequential governor (an old crossing must
+		// not keep halving shards that behaved).
+		half := cur / 2
+		if half < minShard {
+			half = minShard
+		}
+		return half
+	}
+	if unitUsed < 1 {
+		return cur // no per-unit evidence (nil tracker): keep the proven size
+	}
+	perVertex := (unitUsed + int64(lastLen) - 1) / int64(lastLen)
+	if !hadFrontier {
+		perVertex = perVertex * 5 / 4
+	}
+	target := (budget - baseline) * 7 / 10 / int64(lanes) / perVertex
 	next := target
 	if grown := int64(cur) * 4; next > grown {
 		next = grown

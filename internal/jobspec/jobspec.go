@@ -72,6 +72,16 @@ type Spec struct {
 	// run's tracker enforces; it also drives automatic shard sizing.
 	// Normalized to the exact-unit spelling of the parsed byte count.
 	Budget string `json:"budget,omitempty"`
+	// Pipeline overlaps each streamed shard's build stage with its
+	// predecessor's coloring (two in-flight shards; the coloring stays
+	// bit-identical to the sequential stream for a fixed Shard). Implies
+	// Stream.
+	Pipeline bool `json:"pipeline,omitempty"`
+	// Speculate colors this many streamed shards concurrently against the
+	// same frozen frontier and repairs cross-shard collisions afterwards
+	// (proper and deterministic per seed, not bit-identical). Values
+	// below 2 mean off. Implies Stream.
+	Speculate int `json:"speculate,omitempty"`
 	// Refine, when non-nil, runs the palette-refinement pass after the
 	// coloring: rounds of dissolving the smallest color classes and
 	// recoloring their vertices below the shrinking ceiling, clawing back
@@ -246,8 +256,14 @@ func (s *Spec) Normalize() error {
 	} else {
 		s.Budget = ""
 	}
-	if s.Shard > 0 || s.Budget != "" {
-		s.Stream = true // shard/budget knobs imply the streaming engine
+	if s.Speculate < 0 {
+		return fmt.Errorf("jobspec: negative speculate %d", s.Speculate)
+	}
+	if s.Speculate == 1 {
+		s.Speculate = 0 // one lane is the sequential stream: canonical "off"
+	}
+	if s.Shard > 0 || s.Budget != "" || s.Pipeline || s.Speculate >= 2 {
+		s.Stream = true // shard/budget/concurrency knobs imply the streaming engine
 	}
 	if s.Refine != nil {
 		if err := s.Refine.Normalize(); err != nil {
@@ -329,6 +345,8 @@ func (s Spec) Options() picasso.Options {
 	opts.Workers = s.Workers
 	opts.ShardSize = s.Shard
 	opts.MemoryBudgetBytes = s.BudgetBytes()
+	opts.PipelineShards = s.Pipeline
+	opts.Speculate = s.Speculate
 	return opts
 }
 

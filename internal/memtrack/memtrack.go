@@ -28,6 +28,25 @@ type Tracker struct {
 	over    bool // currently above budget (edge detector for notify)
 	crossed int64
 	notify  func(current, budget int64)
+	// parent, when non-nil, receives a copy of every Alloc/Free (see Child):
+	// this tracker then meters one unit of work exactly while the shared
+	// root keeps the combined, budget-bearing view.
+	parent *Tracker
+}
+
+// Child returns a tracker that forwards every Alloc and Free to t while
+// keeping its own current/peak — per-unit attribution under concurrent
+// stream lanes: each lane meters its own footprint exactly (its peak is the
+// lane's bytes alone, never inflated by a neighbor in flight) while the
+// parent's peak and budget verdict cover all in-flight lanes combined.
+// Reset and ResetPeak on the child never touch the parent; budgets are
+// armed on the parent, not on children. Child of a nil tracker is nil (the
+// usual no-op sink).
+func (t *Tracker) Child() *Tracker {
+	if t == nil {
+		return nil
+	}
+	return &Tracker{parent: t}
 }
 
 // Alloc records n live bytes (n may be negative to adjust).
@@ -55,6 +74,9 @@ func (t *Tracker) Alloc(n int64) {
 	if fire != nil {
 		fire(cur, bud)
 	}
+	// Forward outside the lock: parent and child order their own updates
+	// independently, so two children never deadlock on a shared root.
+	t.parent.Alloc(n)
 }
 
 // Free releases n live bytes.
@@ -68,6 +90,7 @@ func (t *Tracker) Free(n int64) {
 		t.over = false
 	}
 	t.mu.Unlock()
+	t.parent.Free(n)
 }
 
 // Current returns the live byte count.

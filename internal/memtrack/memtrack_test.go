@@ -76,6 +76,128 @@ func TestConcurrentSafety(t *testing.T) {
 	}
 }
 
+// TestConcurrentReservationsExact pins the accounting contract the pipelined
+// streaming engine relies on: with two (or more) arenas reserving
+// simultaneously, the tracker's peak is the exact combined high water and
+// OverBudget reflects it. Every goroutine parks on a barrier while holding
+// its reservation, so the combined footprint at that instant is known
+// exactly — not merely bounded.
+func TestConcurrentReservationsExact(t *testing.T) {
+	const lanes = 4
+	const bytes = 1 << 20
+	var tr Tracker
+	tr.SetBudget(bytes*lanes - 1) // one byte short of the combined footprint
+
+	var ready, release sync.WaitGroup
+	ready.Add(lanes)
+	release.Add(1)
+	var wg sync.WaitGroup
+	for w := 0; w < lanes; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Alloc(bytes)
+			ready.Done()
+			release.Wait() // hold the reservation until everyone has theirs
+			tr.Free(bytes)
+		}()
+	}
+	ready.Wait()
+	if got := tr.Current(); got != bytes*lanes {
+		t.Fatalf("combined current = %d, want %d", got, bytes*lanes)
+	}
+	release.Done()
+	wg.Wait()
+
+	if tr.Current() != 0 {
+		t.Fatalf("current = %d after all frees", tr.Current())
+	}
+	if tr.Peak() != bytes*lanes {
+		t.Fatalf("peak = %d, want exact combined %d", tr.Peak(), bytes*lanes)
+	}
+	if !tr.OverBudget() || tr.Exceedances() == 0 {
+		t.Fatal("combined crossing not recorded")
+	}
+
+	// The same schedule under the combined budget must stay clean.
+	var ok Tracker
+	ok.SetBudget(bytes * lanes)
+	var wg2 sync.WaitGroup
+	for w := 0; w < lanes; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 100; i++ {
+				tr.Headroom() // concurrent reads must be safe too
+				ok.Alloc(bytes / 4)
+				ok.Free(bytes / 4)
+			}
+		}()
+	}
+	wg2.Wait()
+	if ok.OverBudget() {
+		t.Fatal("under-budget concurrent traffic reported a crossing")
+	}
+}
+
+// TestChildAttribution checks the per-lane attribution seam: children meter
+// their own unit exactly while every byte also flows into the parent, whose
+// peak (and budget verdict) covers the lanes combined.
+func TestChildAttribution(t *testing.T) {
+	var root Tracker
+	root.Alloc(100) // caller baseline
+	a, b := root.Child(), root.Child()
+
+	var ready, release, wg sync.WaitGroup
+	ready.Add(2)
+	release.Add(1)
+	for _, c := range []struct {
+		tr    *Tracker
+		bytes int64
+	}{{a, 1000}, {b, 3000}} {
+		wg.Add(1)
+		go func(tr *Tracker, n int64) {
+			defer wg.Done()
+			tr.Alloc(n)
+			ready.Done()
+			release.Wait()
+			tr.Free(n)
+		}(c.tr, c.bytes)
+	}
+	ready.Wait()
+	if got := root.Current(); got != 4100 {
+		t.Fatalf("root current = %d, want 4100", got)
+	}
+	release.Done()
+	wg.Wait()
+
+	if a.Peak() != 1000 || b.Peak() != 3000 {
+		t.Fatalf("child peaks = %d/%d, want exact per-lane 1000/3000", a.Peak(), b.Peak())
+	}
+	if a.Current() != 0 || b.Current() != 0 {
+		t.Fatalf("child currents = %d/%d after frees", a.Current(), b.Current())
+	}
+	if root.Peak() != 4100 {
+		t.Fatalf("root peak = %d, want combined 4100", root.Peak())
+	}
+	if root.Current() != 100 {
+		t.Fatalf("root current = %d, want the baseline back", root.Current())
+	}
+
+	// Child resets are local: the parent's history survives.
+	a.Reset()
+	if a.Peak() != 0 || root.Peak() != 4100 {
+		t.Fatalf("child reset leaked: child peak %d, root peak %d", a.Peak(), root.Peak())
+	}
+	// Child of a nil tracker stays the documented no-op sink.
+	var nilTr *Tracker
+	c := nilTr.Child()
+	c.Alloc(10)
+	if c.Peak() != 0 {
+		t.Fatal("nil child tracked bytes")
+	}
+}
+
 func TestGB(t *testing.T) {
 	if GB(2_500_000_000) != 2.5 {
 		t.Fatalf("GB = %v", GB(2_500_000_000))

@@ -88,6 +88,16 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 	if opts.MemoryBudgetBytes == 0 && s.cfg.DefaultBudgetBytes > 0 {
 		opts.MemoryBudgetBytes = s.cfg.DefaultBudgetBytes
 	}
+	// Serve-level concurrency defaults apply only to streamed jobs whose
+	// spec left both knobs unset — an explicit spec always wins, and
+	// one-shot jobs have no shards to overlap.
+	if job.Spec.Streamed() && !opts.PipelineShards && opts.Speculate == 0 {
+		if s.cfg.DefaultSpeculate >= 2 {
+			opts.Speculate = s.cfg.DefaultSpeculate
+		} else if s.cfg.DefaultPipeline {
+			opts.PipelineShards = true
+		}
+	}
 	opts.Arena = arena
 	opts.Progress = func(st picasso.IterStats) {
 		s.mu.Lock()
@@ -327,6 +337,10 @@ func summarize(res *picasso.Result, groups [][]int) *ResultSummary {
 		PairsTested:        res.TotalPairsTested,
 		Fallback:           res.Fallback,
 		Shards:             res.Shards,
+		PipelinedShards:    res.PipelinedShards,
+		OverlapRatio:       res.OverlapRatio,
+		SpecConflicts:      res.SpeculativeConflicts,
+		RepairRecolors:     res.RepairRecolors,
 		PeakBytes:          res.HostPeakBytes,
 		BudgetExceeded:     res.BudgetExceeded,
 	}

@@ -1,0 +1,100 @@
+package picasso_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"picasso"
+)
+
+// TestStreamPipelinedAcceptance is the issue's acceptance bar on the n=20k
+// d=0.5 sweep instance: a pipelined streamed run under a 64 MiB budget must
+// land within 1.2× of the one-shot wall clock (the streamed overhead hidden
+// behind the overlap), keep the tracked peak inside the budget, and produce
+// the sequential stream's coloring bit for bit.
+func TestStreamPipelinedAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance timing run")
+	}
+	const (
+		n      = 20000
+		shard  = 5000
+		budget = int64(64) << 20
+	)
+	o := picasso.RandomGraph(n, 0.5, 11)
+	ctx := context.Background()
+
+	opts := picasso.Normal(3)
+	oneShot, err := picasso.Color(o, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := picasso.Verify(o, oneShot.Colors); err != nil {
+		t.Fatal(err)
+	}
+
+	seqOpts := opts
+	seqOpts.ShardSize = shard
+	seq, err := picasso.Stream(ctx, o, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipeOpts := seqOpts
+	pipeOpts.PipelineShards = true
+	pipeOpts.MemoryBudgetBytes = budget
+	var tr picasso.MemoryTracker
+	pipeOpts.Tracker = &tr
+	pipe, err := picasso.Stream(ctx, o, pipeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seq.Colors {
+		if pipe.Colors[v] != seq.Colors[v] {
+			t.Fatalf("pipelined coloring differs from sequential stream at vertex %d: %d vs %d",
+				v, pipe.Colors[v], seq.Colors[v])
+		}
+	}
+	if pipe.PipelinedShards != 3 {
+		t.Errorf("PipelinedShards = %d, want 3 of 4 shards overlapped", pipe.PipelinedShards)
+	}
+	if tr.Peak() > budget {
+		t.Errorf("tracked peak %d over the %d budget", tr.Peak(), budget)
+	}
+	if pipe.BudgetExceeded {
+		t.Error("budget reported exceeded")
+	}
+
+	// The wall-clock bar needs hardware to overlap on: with one CPU the
+	// prebuild and the coloring time-slice instead of running concurrently,
+	// and no schedule can beat sequential. The correctness half above ran
+	// regardless; the timing half only binds where a second core exists.
+	if runtime.NumCPU() < 2 {
+		t.Skipf("timing bar needs >=2 CPUs, have %d (overlap ratio was %.2f)",
+			runtime.NumCPU(), pipe.OverlapRatio)
+	}
+
+	// Timing is the noisiest assertion: take the best of three for both
+	// sides so a scheduler hiccup on either cannot fail the bar.
+	best := func(run func() error) time.Duration {
+		var min time.Duration
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	oneWall := best(func() error { _, err := picasso.Color(o, opts); return err })
+	pipeWall := best(func() error { _, err := picasso.Stream(ctx, o, pipeOpts); return err })
+	if limit := oneWall * 12 / 10; pipeWall > limit {
+		t.Errorf("pipelined stream %v exceeds 1.2× one-shot %v", pipeWall, oneWall)
+	}
+	t.Logf("one-shot %v, pipelined stream %v (overlap %.2f)", oneWall, pipeWall, pipe.OverlapRatio)
+}
