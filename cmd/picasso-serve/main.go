@@ -55,6 +55,7 @@ func main() {
 		budget     = flag.String("budget", "", "default per-job host-memory budget for specs without one, e.g. 512MiB")
 		pipeline   = flag.Bool("pipeline", false, "pipeline streamed jobs that set neither pipeline nor speculate")
 		speculate  = flag.Int("speculate", 0, "speculative lanes for streamed jobs that set neither knob (>=2)")
+		artDir     = flag.String("artifact-dir", "", "persist finished jobs as .pic artifacts here; the result cache gains a disk tier that survives restarts")
 	)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		DefaultBudgetBytes: budgetB,
 		DefaultPipeline:    *pipeline,
 		DefaultSpeculate:   *speculate,
+		ArtifactDir:        *artDir,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)

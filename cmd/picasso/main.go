@@ -17,13 +17,23 @@
 //	picasso -random 20000:0.5 -budget 16MiB -refine     (stream, then claw colors back)
 //	picasso -molecule "H6 3D sto3g" -refine-target 300  (refine toward a group count)
 //
+// With -artifact-dir, finished runs are persisted as content-addressed .pic
+// artifacts (see docs/artifact-format.md) and prepped slabs are reused
+// instead of re-parsing; -prep parses the input, writes a slab-only
+// artifact, and exits — the preprocess half of a preprocess/serve split:
+//
+//	picasso -prep -strings paulis.txt -artifact-dir ./artifacts
+//	picasso -strings paulis.txt -artifact-dir ./artifacts   (skips the parse)
+//
 // The same job description is accepted by the picasso-serve HTTP service
-// (cmd/picasso-serve); both front ends share internal/jobspec.
+// (cmd/picasso-serve); both front ends share internal/jobspec, and both
+// read and write the same artifact store.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +41,8 @@ import (
 	"time"
 
 	"picasso"
+	"picasso/internal/artifact"
+	"picasso/internal/bucket"
 	"picasso/internal/jobspec"
 	"picasso/internal/memtrack"
 )
@@ -59,6 +71,8 @@ func main() {
 		refineT  = flag.Int("refine-target", 0, "stop refining at this many colors (0 = converge; implies -refine)")
 		verify   = flag.Bool("verify", false, "verify the coloring against the input graph")
 		groupsF  = flag.String("groups", "", "write unitary groups to this file (Pauli inputs)")
+		artDir   = flag.String("artifact-dir", "", "content-addressed .pic store: reuse a prepped slab before parsing, persist the finished run")
+		prep     = flag.Bool("prep", false, "parse the input, write a slab-only artifact to -artifact-dir, and exit")
 		verbose  = flag.Bool("v", false, "print per-iteration statistics")
 	)
 	flag.Parse()
@@ -99,6 +113,21 @@ func main() {
 		fatal("%v", err)
 	}
 
+	var store *artifact.Store
+	if *artDir != "" {
+		var err error
+		if store, err = artifact.NewStore(*artDir); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *prep {
+		if store == nil {
+			fatal("-prep requires -artifact-dir")
+		}
+		runPrep(store, spec)
+		return
+	}
+
 	opts := spec.Options()
 	if *gpu > 0 {
 		opts.Device = picasso.NewDevice("sim", int64(*gpu), *workers)
@@ -106,9 +135,24 @@ func main() {
 	var tr memtrack.Tracker
 	opts.Tracker = &tr
 
-	oracle, set, err := spec.BuildInput()
-	if err != nil {
-		fatal("building input: %v", err)
+	var (
+		oracle picasso.Oracle
+		set    *picasso.PauliSet
+		err    error
+	)
+	if store != nil {
+		// A prep artifact matching this spec hands back the parsed slab and
+		// skips the parse (and, for molecule instances, the synthesis).
+		if art, err := store.Get(spec.Canonical()); err == nil && art.Set != nil {
+			set = art.Set
+			fmt.Printf("artifact %s: loaded prepped slab, parse skipped\n", artifact.Address(art.Spec))
+		}
+	}
+	if set == nil {
+		oracle, set, err = spec.BuildInput()
+		if err != nil {
+			fatal("building input: %v", err)
+		}
 	}
 	switch {
 	case spec.Instance != "":
@@ -119,6 +163,21 @@ func main() {
 		fmt.Printf("file %q: %d strings on %d qubits\n", *stringsF, set.Len(), set.Qubits())
 	default:
 		fmt.Printf("random graph: %d vertices\n", oracle.NumVertices())
+	}
+
+	// For streamed runs, keep the last resumable shard-boundary snapshot:
+	// it rides along in the persisted artifact so a later process could
+	// ResumeStream from it.
+	var lastCheckpoint []byte
+	if store != nil {
+		opts.Checkpoint = func(st picasso.RunState) {
+			if !st.Resumable() {
+				return
+			}
+			if blob, err := json.Marshal(st); err == nil {
+				lastCheckpoint = blob
+			}
+		}
 	}
 
 	t0 := time.Now()
@@ -226,6 +285,56 @@ func main() {
 		writeGroups(*groupsF, set, finalColors)
 		fmt.Printf("groups written to %s\n", *groupsF)
 	}
+
+	if store != nil {
+		persistRun(store, spec, set, finalColors, lastCheckpoint)
+	}
+}
+
+// runPrep is the preprocess half of the preprocess/serve split: parse the
+// Pauli input once, persist the packed slab as a content-addressed
+// artifact, and exit. A later run (or a picasso-serve replica) pointed at
+// the same store loads the slab instead of re-parsing.
+func runPrep(store *artifact.Store, spec jobspec.Spec) {
+	_, set, err := spec.BuildInput()
+	if err != nil {
+		fatal("building input: %v", err)
+	}
+	if set == nil {
+		fatal("-prep needs a Pauli input (-molecule or -strings); -random graphs have nothing to parse")
+	}
+	canonical := spec.Canonical()
+	path, err := store.Put(&artifact.Artifact{Spec: canonical, Set: set})
+	if err != nil {
+		fatal("writing artifact: %v", err)
+	}
+	fmt.Printf("prep artifact %s: %d strings on %d qubits -> %s\n",
+		artifact.Address(canonical), set.Len(), set.Qubits(), path)
+}
+
+// persistRun writes the finished run to the artifact store: spec, slab (for
+// Pauli inputs), coloring, its inverted index, and the last resumable
+// streaming checkpoint, if any. Best-effort — a write failure is reported
+// but never fails a run whose results were already printed.
+func persistRun(store *artifact.Store, spec jobspec.Spec, set *picasso.PauliSet, colors picasso.Coloring, checkpoint []byte) {
+	ix, err := bucket.BuildIndex(colors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "picasso: artifact not written: %v\n", err)
+		return
+	}
+	art := &artifact.Artifact{
+		Spec:     spec.Canonical(),
+		Set:      set,
+		Index:    ix,
+		Colors:   colors,
+		RunState: checkpoint,
+	}
+	path, err := store.Put(art)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "picasso: artifact not written: %v\n", err)
+		return
+	}
+	fmt.Printf("artifact written to %s\n", path)
 }
 
 func readStrings(path string) []string {

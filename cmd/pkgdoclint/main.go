@@ -1,0 +1,92 @@
+// Command pkgdoclint is the CI docs gate: it walks the given directories
+// and fails when any Go package lacks a package comment. Every package in
+// this repo documents its role and invariants at the package clause
+// (ARCHITECTURE.md indexes them); this gate keeps that true as packages are
+// added.
+//
+//	pkgdoclint .            # lint the whole module
+//	pkgdoclint internal cmd # lint specific trees
+//
+// Test files, external test packages, and testdata/vendored trees are
+// ignored: the gate is about the documented API surface, not fixtures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var missing []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			ok, hasGo, err := dirHasPackageDoc(path)
+			if err != nil {
+				return err
+			}
+			if hasGo && !ok {
+				missing = append(missing, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pkgdoclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(missing) > 0 {
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "pkgdoclint: package in %s has no package comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// dirHasPackageDoc parses the package clauses of a directory's non-test Go
+// files and reports whether any carries a doc comment. hasGo reports
+// whether the directory holds non-test Go files at all (directories
+// without are not packages and pass vacuously).
+func dirHasPackageDoc(dir string) (ok, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, hasGo, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}

@@ -1,0 +1,427 @@
+// Package artifact is Picasso's preprocess/serve seam: a versioned,
+// mmap-friendly binary container (the ".pic" format) holding everything a
+// cold process otherwise rebuilds from scratch — the parsed Pauli slab, the
+// palette-bucket inverted index of a finished coloring, the coloring
+// itself, a resumable engine checkpoint, and an opaque metadata blob — all
+// content-addressed by the job's canonical spec.
+//
+// Invariants the package maintains:
+//
+//   - A file is self-describing: magic, format version, and a section table
+//     (kind, offset, length, CRC-32) come before any payload, and every
+//     section payload is 8-byte aligned so a reader may map the file and
+//     point slices straight into it.
+//   - Decode verifies the magic, the format version, the table's bounds,
+//     and every section's CRC before returning; a truncated, bit-flipped,
+//     or future-versioned file is an error, never a partial artifact.
+//   - The address of an artifact is derived from its spec section
+//     (Address(spec) — the same hash the coloring service uses for job
+//     ids), and the store re-derives it on every read, so a renamed or
+//     substituted file cannot impersonate another job's artifact.
+//   - Writes are atomic (temp file + rename): a crashed writer leaves no
+//     half-written addressable artifact behind.
+//
+// The byte-level layout is specified in docs/artifact-format.md; this
+// package is the reference implementation.
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"picasso/internal/bitvec"
+	"picasso/internal/bucket"
+	"picasso/internal/pauli"
+)
+
+// Magic opens every artifact file. The PNG-style guard bytes (high bit,
+// CRLF, ^Z, LF) catch text-mode transfers and truncation of the very first
+// read.
+var Magic = [8]byte{0x89, 'P', 'I', 'C', 0x0D, 0x0A, 0x1A, 0x0A}
+
+// FormatVersion is the current .pic format version. Readers reject files
+// with any other version: the format evolves by version bump, never by
+// silent reinterpretation.
+const FormatVersion = 1
+
+// Section kinds. An artifact holds at most one section of each kind; Spec
+// is mandatory, the rest are optional.
+const (
+	// SectionSpec is the canonical jobspec (UTF-8 JSON, or a child job's
+	// composite canonical string). Its hash is the artifact's address.
+	SectionSpec = 1
+	// SectionPauli is the parsed Pauli slab: the packed string encodings,
+	// written word-for-word from pauli.Set.
+	SectionPauli = 2
+	// SectionIndex is the palette-bucket inverted index of a finished
+	// coloring (bucket.Index, CSR layout).
+	SectionIndex = 3
+	// SectionColoring is the finished per-vertex coloring (int32 per
+	// vertex).
+	SectionColoring = 4
+	// SectionRunState is a serialized engine checkpoint (core.RunState
+	// JSON), for resuming a streamed run.
+	SectionRunState = 5
+	// SectionMeta is an opaque JSON blob owned by the writer (the coloring
+	// service stores its job envelope here).
+	SectionMeta = 6
+)
+
+const (
+	headerSize  = 16 // magic + version + section count
+	entrySize   = 32 // kind + flags + offset + length + crc + pad
+	maxSections = 64 // far above the 6 defined kinds; caps hostile tables
+)
+
+// Artifact is the in-memory form of one .pic file. Spec is mandatory;
+// every other field is optional (nil = section absent).
+type Artifact struct {
+	// Spec is the canonical job description the artifact belongs to — the
+	// content address is derived from exactly these bytes.
+	Spec string
+	// Set is the parsed Pauli slab (nil for oracle-only artifacts).
+	Set *pauli.Set
+	// Index is the palette-bucket inverted index of the finished coloring.
+	Index *bucket.Index
+	// Colors is the finished per-vertex coloring.
+	Colors []int32
+	// RunState is a serialized engine checkpoint (JSON, opaque here).
+	RunState []byte
+	// Meta is a writer-owned JSON envelope (opaque here).
+	Meta []byte
+}
+
+// Complete reports whether the artifact carries a finished result a server
+// can serve without recoloring: a coloring and its index.
+func (a *Artifact) Complete() bool {
+	return a != nil && a.Index != nil && len(a.Colors) > 0
+}
+
+// Address derives the content address of a canonical spec: "j" plus the
+// first 8 bytes of its SHA-256, hex-encoded — deliberately identical to
+// the coloring service's job ids, so a job id is an artifact filename and
+// a parent job can be resolved from disk by its id alone.
+func Address(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return "j" + hex.EncodeToString(sum[:8])
+}
+
+// Encode writes the artifact in .pic format. Sections are emitted in kind
+// order at 8-byte-aligned offsets with zero padding between them.
+func Encode(w io.Writer, a *Artifact) error {
+	if a == nil || a.Spec == "" {
+		return fmt.Errorf("artifact: encoding needs a spec")
+	}
+	type section struct {
+		kind    uint32
+		payload []byte
+	}
+	sections := []section{{SectionSpec, []byte(a.Spec)}}
+	if a.Set != nil {
+		sections = append(sections, section{SectionPauli, encodePauli(a.Set)})
+	}
+	if a.Index != nil {
+		if err := a.Index.Validate(); err != nil {
+			return fmt.Errorf("artifact: refusing to encode a corrupt index: %w", err)
+		}
+		sections = append(sections, section{SectionIndex, encodeIndex(a.Index)})
+	}
+	if len(a.Colors) > 0 {
+		sections = append(sections, section{SectionColoring, encodeColoring(a.Colors)})
+	}
+	if len(a.RunState) > 0 {
+		sections = append(sections, section{SectionRunState, a.RunState})
+	}
+	if len(a.Meta) > 0 {
+		sections = append(sections, section{SectionMeta, a.Meta})
+	}
+
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	le := binary.LittleEndian
+	var u32 [4]byte
+	le.PutUint32(u32[:], FormatVersion)
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], uint32(len(sections)))
+	buf.Write(u32[:])
+
+	// Lay the sections out after the table, each at the next 8-byte
+	// boundary, and write the table entries as their offsets become known.
+	offset := uint64(headerSize + entrySize*len(sections))
+	table := make([]byte, entrySize*len(sections))
+	for i, s := range sections {
+		offset = align8(offset)
+		e := table[i*entrySize:]
+		le.PutUint32(e[0:], s.kind)
+		le.PutUint32(e[4:], 0) // flags, reserved
+		le.PutUint64(e[8:], offset)
+		le.PutUint64(e[16:], uint64(len(s.payload)))
+		le.PutUint32(e[24:], crc32.ChecksumIEEE(s.payload))
+		le.PutUint32(e[28:], 0) // pad
+		offset += uint64(len(s.payload))
+	}
+	buf.Write(table)
+	cursor := uint64(headerSize + entrySize*len(sections))
+	var zeros [8]byte
+	for _, s := range sections {
+		if aligned := align8(cursor); aligned > cursor {
+			buf.Write(zeros[:aligned-cursor])
+			cursor = aligned
+		}
+		buf.Write(s.payload)
+		cursor += uint64(len(s.payload))
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Decode reads and fully verifies a .pic file: magic, version, section
+// table bounds, per-section CRCs, and the structural invariants of every
+// typed section. It never returns a partially valid artifact.
+func Decode(r io.Reader) (*Artifact, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: reading: %w", err)
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("artifact: file truncated at %d bytes (header needs %d)", len(data), headerSize)
+	}
+	if !bytes.Equal(data[:8], Magic[:]) {
+		return nil, fmt.Errorf("artifact: bad magic %x (not a .pic file, or mangled in transfer)", data[:8])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("artifact: format version %d, this reader understands %d", v, FormatVersion)
+	}
+	count := int(le.Uint32(data[12:16]))
+	if count < 1 || count > maxSections {
+		return nil, fmt.Errorf("artifact: section count %d outside [1, %d]", count, maxSections)
+	}
+	if len(data) < headerSize+entrySize*count {
+		return nil, fmt.Errorf("artifact: file truncated inside the section table")
+	}
+
+	a := &Artifact{}
+	seen := map[uint32]bool{}
+	for i := 0; i < count; i++ {
+		e := data[headerSize+i*entrySize:]
+		kind := le.Uint32(e[0:])
+		off := le.Uint64(e[8:])
+		length := le.Uint64(e[16:])
+		crc := le.Uint32(e[24:])
+		if seen[kind] {
+			return nil, fmt.Errorf("artifact: duplicate section kind %d", kind)
+		}
+		seen[kind] = true
+		if off%8 != 0 {
+			return nil, fmt.Errorf("artifact: section %d at unaligned offset %d", kind, off)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("artifact: section %d [%d, +%d) runs past the %d-byte file",
+				kind, off, length, len(data))
+		}
+		payload := data[off : off+length]
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			return nil, fmt.Errorf("artifact: section %d checksum mismatch (stored %08x, computed %08x)", kind, crc, got)
+		}
+		switch kind {
+		case SectionSpec:
+			a.Spec = string(payload)
+		case SectionPauli:
+			if a.Set, err = decodePauli(payload); err != nil {
+				return nil, err
+			}
+		case SectionIndex:
+			if a.Index, err = decodeIndex(payload); err != nil {
+				return nil, err
+			}
+		case SectionColoring:
+			if a.Colors, err = decodeColoring(payload); err != nil {
+				return nil, err
+			}
+		case SectionRunState:
+			a.RunState = append([]byte(nil), payload...)
+		case SectionMeta:
+			a.Meta = append([]byte(nil), payload...)
+		default:
+			// Unknown kinds are an error under the current version: forward
+			// compatibility is handled by the version field, not by skipping
+			// sections whose integrity rules we cannot know.
+			return nil, fmt.Errorf("artifact: unknown section kind %d", kind)
+		}
+	}
+	if a.Spec == "" {
+		return nil, fmt.Errorf("artifact: missing spec section")
+	}
+	if a.Index != nil {
+		if err := a.Index.Validate(); err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+	}
+	if a.Index != nil && len(a.Colors) > 0 && a.Index.NumVertices() != len(a.Colors) {
+		return nil, fmt.Errorf("artifact: index covers %d vertices, coloring has %d",
+			a.Index.NumVertices(), len(a.Colors))
+	}
+	return a, nil
+}
+
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// encodePauli lays a set out as a 24-byte header (qubits, words per
+// string, string count, coefficient flag) followed by the raw slab words
+// and optional coefficients, all little-endian.
+func encodePauli(set *pauli.Set) []byte {
+	slab, coeffs := set.Slab(), set.Coeffs()
+	size := 24 + 8*len(slab) + 8*len(coeffs)
+	out := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(set.Qubits()))
+	le.PutUint32(out[4:], uint32(bitvec.WordsFor(set.Qubits())))
+	le.PutUint64(out[8:], uint64(set.Len()))
+	if coeffs != nil {
+		out[16] = 1
+	}
+	p := 24
+	for _, w := range slab {
+		le.PutUint64(out[p:], w)
+		p += 8
+	}
+	for _, c := range coeffs {
+		le.PutUint64(out[p:], math.Float64bits(c))
+		p += 8
+	}
+	return out
+}
+
+func decodePauli(payload []byte) (*pauli.Set, error) {
+	if len(payload) < 24 {
+		return nil, fmt.Errorf("artifact: pauli section truncated at %d bytes", len(payload))
+	}
+	le := binary.LittleEndian
+	qubits := int(le.Uint32(payload[0:]))
+	wordsPer := int(le.Uint32(payload[4:]))
+	count := le.Uint64(payload[8:])
+	hasCoeffs := payload[16] != 0
+	if qubits <= 0 || wordsPer <= 0 || count > uint64(len(payload)) {
+		return nil, fmt.Errorf("artifact: pauli section header corrupt (%d qubits, %d words, %d strings)",
+			qubits, wordsPer, count)
+	}
+	want := 24 + 8*int(count)*wordsPer
+	if hasCoeffs {
+		want += 8 * int(count)
+	}
+	if len(payload) != want {
+		return nil, fmt.Errorf("artifact: pauli section is %d bytes, %d strings need %d",
+			len(payload), count, want)
+	}
+	slab := make([]uint64, int(count)*wordsPer)
+	p := 24
+	for i := range slab {
+		slab[i] = le.Uint64(payload[p:])
+		p += 8
+	}
+	var coeffs []float64
+	if hasCoeffs {
+		coeffs = make([]float64, count)
+		for i := range coeffs {
+			coeffs[i] = math.Float64frombits(le.Uint64(payload[p:]))
+			p += 8
+		}
+	}
+	set, err := pauli.NewSetFromSlab(qubits, int(count), slab, coeffs)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return set, nil
+}
+
+// encodeIndex lays a bucket.Index out as two counts (colors, vertices)
+// followed by the Off and Vtx arrays; Vtx is padded to 8 bytes.
+func encodeIndex(ix *bucket.Index) []byte {
+	size := 16 + 8*len(ix.Off) + int(align8(uint64(4*len(ix.Vtx))))
+	out := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], uint64(ix.NumColors()))
+	le.PutUint64(out[8:], uint64(len(ix.Vtx)))
+	p := 16
+	for _, o := range ix.Off {
+		le.PutUint64(out[p:], uint64(o))
+		p += 8
+	}
+	for _, v := range ix.Vtx {
+		le.PutUint32(out[p:], uint32(v))
+		p += 4
+	}
+	return out
+}
+
+func decodeIndex(payload []byte) (*bucket.Index, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("artifact: index section truncated at %d bytes", len(payload))
+	}
+	le := binary.LittleEndian
+	colors := le.Uint64(payload[0:])
+	verts := le.Uint64(payload[8:])
+	if colors > uint64(len(payload)) || verts > uint64(len(payload)) {
+		return nil, fmt.Errorf("artifact: index section header corrupt (%d colors, %d vertices)", colors, verts)
+	}
+	want := 16 + 8*(int(colors)+1) + int(align8(4*verts))
+	if len(payload) != want {
+		return nil, fmt.Errorf("artifact: index section is %d bytes, %d colors over %d vertices need %d",
+			len(payload), colors, verts, want)
+	}
+	ix := &bucket.Index{
+		Off: make([]int64, colors+1),
+		Vtx: make([]int32, verts),
+	}
+	p := 16
+	for i := range ix.Off {
+		ix.Off[i] = int64(le.Uint64(payload[p:]))
+		p += 8
+	}
+	for i := range ix.Vtx {
+		ix.Vtx[i] = int32(le.Uint32(payload[p:]))
+		p += 4
+	}
+	return ix, nil
+}
+
+// encodeColoring lays a coloring out as a vertex count followed by one
+// int32 per vertex, padded to 8 bytes.
+func encodeColoring(colors []int32) []byte {
+	size := 8 + int(align8(uint64(4*len(colors))))
+	out := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], uint64(len(colors)))
+	p := 8
+	for _, c := range colors {
+		le.PutUint32(out[p:], uint32(c))
+		p += 4
+	}
+	return out
+}
+
+func decodeColoring(payload []byte) ([]int32, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("artifact: coloring section truncated at %d bytes", len(payload))
+	}
+	le := binary.LittleEndian
+	n := le.Uint64(payload[0:])
+	if want := 8 + int(align8(4*n)); n > uint64(len(payload)) || len(payload) != want {
+		return nil, fmt.Errorf("artifact: coloring section is %d bytes, %d vertices need %d",
+			len(payload), n, 8+int(align8(4*n)))
+	}
+	colors := make([]int32, n)
+	p := 8
+	for i := range colors {
+		colors[i] = int32(le.Uint32(payload[p:]))
+		p += 4
+	}
+	return colors, nil
+}

@@ -1,0 +1,321 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"picasso/internal/bucket"
+	"picasso/internal/pauli"
+)
+
+// sampleArtifact builds a fully populated artifact: a random slab with
+// coefficients, a coloring over its strings, the coloring's index, a
+// checkpoint blob, and a meta envelope.
+func sampleArtifact(t *testing.T) *Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	set := pauli.NewSet(30)
+	for i := 0; i < 500; i++ {
+		set.AppendWithCoeff(pauli.RandomNonIdentity(30, rng), rng.NormFloat64())
+	}
+	colors := make([]int32, set.Len())
+	for i := range colors {
+		colors[i] = int32(rng.Intn(40))
+	}
+	ix, err := bucket.BuildIndex(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Artifact{
+		Spec:     `{"strings":["XX"],"mode":"normal"}`,
+		Set:      set,
+		Index:    ix,
+		Colors:   colors,
+		RunState: []byte(`{"version":1,"streamed":true}`),
+		Meta:     []byte(`{"finished_at":"2026-08-08T00:00:00Z"}`),
+	}
+}
+
+func encodeBytes(t *testing.T, a *Artifact) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// equalArtifacts compares every field bit for bit.
+func equalArtifacts(a, b *Artifact) bool {
+	if a.Spec != b.Spec ||
+		!reflect.DeepEqual(a.Colors, b.Colors) ||
+		!bytes.Equal(a.RunState, b.RunState) ||
+		!bytes.Equal(a.Meta, b.Meta) {
+		return false
+	}
+	if (a.Set == nil) != (b.Set == nil) {
+		return false
+	}
+	if a.Set != nil {
+		if a.Set.Qubits() != b.Set.Qubits() || a.Set.Len() != b.Set.Len() ||
+			!reflect.DeepEqual(a.Set.Slab(), b.Set.Slab()) ||
+			!reflect.DeepEqual(a.Set.Coeffs(), b.Set.Coeffs()) {
+			return false
+		}
+	}
+	if (a.Index == nil) != (b.Index == nil) {
+		return false
+	}
+	if a.Index != nil {
+		if !reflect.DeepEqual(a.Index.Off, b.Index.Off) || !reflect.DeepEqual(a.Index.Vtx, b.Index.Vtx) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleArtifact(t)
+	data := encodeBytes(t, want)
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalArtifacts(want, got) {
+		t.Fatal("decoded artifact differs from the encoded one")
+	}
+	if !got.Complete() {
+		t.Fatal("artifact with index+coloring should be Complete")
+	}
+	// Deterministic layout: encoding the decoded copy reproduces the file.
+	if !bytes.Equal(data, encodeBytes(t, got)) {
+		t.Fatal("re-encoding is not bit-identical")
+	}
+}
+
+func TestRoundTripSparse(t *testing.T) {
+	// Spec-only (prep without slab is invalid at the store level but legal
+	// in the format) and slab-only artifacts survive too.
+	for _, a := range []*Artifact{
+		{Spec: "spec-only"},
+		{Spec: "slab-only", Set: pauli.RandomSet(16, 32, rand.New(rand.NewSource(1)))},
+	} {
+		got, err := Decode(bytes.NewReader(encodeBytes(t, a)))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Spec, err)
+		}
+		if !equalArtifacts(a, got) {
+			t.Fatalf("%s: round trip differs", a.Spec)
+		}
+		if got.Complete() {
+			t.Fatalf("%s: should not be Complete", a.Spec)
+		}
+	}
+}
+
+func TestRoundTripEmptySet(t *testing.T) {
+	a := &Artifact{Spec: "empty", Set: pauli.NewSet(8)}
+	got, err := Decode(bytes.NewReader(encodeBytes(t, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Set == nil || got.Set.Len() != 0 || got.Set.Qubits() != 8 {
+		t.Fatalf("empty set mangled: %+v", got.Set)
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil); err == nil {
+		t.Fatal("nil artifact encoded")
+	}
+	if err := Encode(&buf, &Artifact{}); err == nil {
+		t.Fatal("spec-less artifact encoded")
+	}
+	if err := Encode(&buf, &Artifact{
+		Spec:  "x",
+		Index: &bucket.Index{Off: []int64{0, 5}, Vtx: []int32{0}}, // offsets end past Vtx
+	}); err == nil {
+		t.Fatal("corrupt index encoded")
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	data := encodeBytes(t, sampleArtifact(t))
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded cleanly", n, len(data))
+		}
+	}
+}
+
+// TestDecodeBitFlips flips one bit in every byte of the file and requires
+// the decoder to either reject the file or decode the exact original
+// (flips in padding and reserved fields are invisible by design — they are
+// outside every checksummed payload).
+func TestDecodeBitFlips(t *testing.T) {
+	want := sampleArtifact(t)
+	data := encodeBytes(t, want)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x10
+		got, err := Decode(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if !equalArtifacts(want, got) {
+			t.Fatalf("bit flip at byte %d silently changed the decoded artifact", i)
+		}
+	}
+}
+
+func TestDecodeWrongMagicAndVersion(t *testing.T) {
+	data := encodeBytes(t, sampleArtifact(t))
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 'P'
+	if _, err := Decode(bytes.NewReader(badMagic)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	badVersion := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(badVersion[8:], FormatVersion+1)
+	if _, err := Decode(bytes.NewReader(badVersion)); err == nil {
+		t.Fatal("future format version accepted")
+	}
+}
+
+func TestDecodeBadSectionTable(t *testing.T) {
+	data := encodeBytes(t, sampleArtifact(t))
+
+	// Rewrite the second table entry's kind to an unknown value.
+	unknown := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(unknown[headerSize+entrySize:], 99)
+	if _, err := Decode(bytes.NewReader(unknown)); err == nil {
+		t.Fatal("unknown section kind accepted")
+	}
+
+	// Rewrite it to SectionSpec, duplicating the first entry's kind.
+	dup := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(dup[headerSize+entrySize:], SectionSpec)
+	if _, err := Decode(bytes.NewReader(dup)); err == nil {
+		t.Fatal("duplicate section kind accepted")
+	}
+
+	// Point a section past the end of the file.
+	oob := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(oob[headerSize+8:], uint64(len(data))+8)
+	if _, err := Decode(bytes.NewReader(oob)); err == nil {
+		t.Fatal("out-of-bounds section accepted")
+	}
+}
+
+func TestDecodeIndexColoringMismatch(t *testing.T) {
+	a := sampleArtifact(t)
+	a.Colors = a.Colors[:len(a.Colors)-1] // one vertex short of the index
+	ix, err := bucket.BuildIndex(a.Colors[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Index = ix
+	if _, err := Decode(bytes.NewReader(encodeBytes(t, a))); err == nil {
+		t.Fatal("index/coloring vertex-count mismatch accepted")
+	}
+}
+
+func TestAddress(t *testing.T) {
+	addr := Address("some canonical spec")
+	if !validAddress(addr) {
+		t.Fatalf("Address produced %q, which validAddress rejects", addr)
+	}
+	if Address("a") == Address("b") {
+		t.Fatal("distinct specs share an address")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleArtifact(t)
+	path, err := store.Put(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != store.Path(Address(want.Spec)) {
+		t.Fatalf("Put path %q, want the content address", path)
+	}
+	if !store.Has(want.Spec) {
+		t.Fatal("Has misses a stored artifact")
+	}
+	got, err := store.Get(want.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalArtifacts(want, got) {
+		t.Fatal("stored artifact differs after Get")
+	}
+	if _, err := store.GetAddress(Address(want.Spec)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreMisses(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get("never stored"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss: %v, want ErrNotFound", err)
+	}
+	for _, addr := range []string{"", "j123", "../../etc/passwd", "jZZZZZZZZZZZZZZZZ"} {
+		if _, err := store.GetAddress(addr); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("malformed address %q: %v, want a validation error", addr, err)
+		}
+	}
+}
+
+func TestStoreDetectsTamperingAndRenames(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact(t)
+	path, err := store.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte on disk: the CRC check must fail the read.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-1] ^= 0xFF
+	if err := os.WriteFile(path, mut, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(a.Spec); err == nil {
+		t.Fatal("tampered artifact served")
+	}
+
+	// Restore the file under a different (valid-looking) address: the
+	// address re-derivation must reject the rename.
+	other := Address("a different spec")
+	if err := os.WriteFile(store.Path(other), data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.GetAddress(other); err == nil {
+		t.Fatal("renamed artifact served under the wrong address")
+	}
+	if _, err := store.Get("a different spec"); err == nil {
+		t.Fatal("renamed artifact served for the wrong spec")
+	}
+}

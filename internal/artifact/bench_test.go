@@ -1,0 +1,88 @@
+package artifact
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"picasso/internal/bucket"
+	"picasso/internal/pauli"
+)
+
+// The cold-start benchmarks measure the preprocess/serve split's payoff at
+// service scale (20k strings, 30 qubits): ColdStartParse is what a process
+// without an artifact does — parse every string and rebuild the inverted
+// index — and ColdStartArtifactLoad replaces all of it with one verified
+// .pic read.
+
+const (
+	benchStrings = 20000
+	benchQubits  = 30
+)
+
+func benchInput(tb testing.TB) ([]string, []int32) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	set := pauli.RandomSet(benchQubits, benchStrings, rng)
+	lines := make([]string, set.Len())
+	for i := range lines {
+		lines[i] = set.At(i).String()
+	}
+	colors := make([]int32, set.Len())
+	for i := range colors {
+		colors[i] = int32(rng.Intn(600))
+	}
+	return lines, colors
+}
+
+func parseAndIndex(tb testing.TB, lines []string, colors []int32) (*pauli.Set, *bucket.Index) {
+	tb.Helper()
+	set := pauli.NewSetCapacity(benchQubits, len(lines))
+	for _, line := range lines {
+		p, err := pauli.Parse(line)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		set.Append(p)
+	}
+	ix, err := bucket.BuildIndex(colors)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return set, ix
+}
+
+func BenchmarkColdStartParse(b *testing.B) {
+	lines, colors := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parseAndIndex(b, lines, colors)
+	}
+}
+
+func BenchmarkColdStartArtifactLoad(b *testing.B) {
+	lines, colors := benchInput(b)
+	set, ix := parseAndIndex(b, lines, colors)
+	store, err := NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := `{"strings":"bench","mode":"normal"}`
+	path, err := store.Put(&Artifact{Spec: spec, Set: set, Index: ix, Colors: colors})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		b.ReportMetric(float64(fi.Size()), "file-bytes")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := store.Get(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !a.Complete() || a.Set.Len() != benchStrings {
+			b.Fatal("artifact load returned a different input")
+		}
+	}
+}

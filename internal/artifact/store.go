@@ -1,0 +1,134 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Ext is the artifact file extension.
+const Ext = ".pic"
+
+// ErrNotFound reports a lookup for an address with no artifact on disk —
+// the ordinary cache-miss outcome, distinct from every corruption error.
+var ErrNotFound = errors.New("artifact: not found")
+
+// Store is a content-addressed artifact directory: one flat directory of
+// <address>.pic files, where the address is Address(spec). All integrity
+// guarantees live in Decode plus the address re-derivation done on every
+// read; the store itself is deliberately dumb so replicas can share one
+// directory over any common filesystem.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path an address maps to.
+func (s *Store) Path(addr string) string {
+	return filepath.Join(s.dir, addr+Ext)
+}
+
+// Put writes the artifact atomically (temp file + rename) under its
+// content address and returns the final path. An existing artifact at the
+// same address is replaced — same address means same canonical spec, so
+// the replacement can only be a richer or equal artifact for the same job.
+func (s *Store) Put(a *Artifact) (string, error) {
+	if a == nil || a.Spec == "" {
+		return "", fmt.Errorf("artifact: storing needs a spec")
+	}
+	path := s.Path(Address(a.Spec))
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*"+Ext)
+	if err != nil {
+		return "", fmt.Errorf("artifact: staging: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Encode(tmp, a); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("artifact: staging: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", fmt.Errorf("artifact: publishing: %w", err)
+	}
+	return path, nil
+}
+
+// Get loads the artifact for a canonical spec. The decoded spec section
+// must equal the requested canonical byte for byte — the content-address
+// integrity check — so a tampered or misfiled artifact is an error, not a
+// wrong answer. A missing file is ErrNotFound.
+func (s *Store) Get(canonical string) (*Artifact, error) {
+	a, err := s.GetAddress(Address(canonical))
+	if err != nil {
+		return nil, err
+	}
+	if a.Spec != canonical {
+		return nil, fmt.Errorf("artifact: spec mismatch at address %s (hash collision or tampering)",
+			Address(canonical))
+	}
+	return a, nil
+}
+
+// GetAddress loads the artifact stored under an address (a job id) and
+// verifies that its spec section actually hashes to that address. This is
+// the lookup path for resolving a parent job from its id alone.
+func (s *Store) GetAddress(addr string) (*Artifact, error) {
+	if !validAddress(addr) {
+		return nil, fmt.Errorf("artifact: malformed address %q", addr)
+	}
+	f, err := os.Open(s.Path(addr))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("artifact: opening %s: %w", addr, err)
+	}
+	defer f.Close()
+	a, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %s: %w", addr, err)
+	}
+	if got := Address(a.Spec); got != addr {
+		return nil, fmt.Errorf("artifact: file %s holds spec addressed %s (renamed or substituted)", addr, got)
+	}
+	return a, nil
+}
+
+// Has reports whether an artifact exists for a canonical spec, without
+// decoding it.
+func (s *Store) Has(canonical string) bool {
+	_, err := os.Stat(s.Path(Address(canonical)))
+	return err == nil
+}
+
+// validAddress gates file names derived from externally supplied ids: the
+// exact shape Address produces, so a hostile id cannot escape the store
+// directory.
+func validAddress(addr string) bool {
+	if len(addr) != 17 || addr[0] != 'j' {
+		return false
+	}
+	for _, c := range addr[1:] {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return false
+		}
+	}
+	return true
+}

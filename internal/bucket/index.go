@@ -1,0 +1,127 @@
+package bucket
+
+import (
+	"fmt"
+
+	"picasso/internal/grow"
+)
+
+// Index is the persisted palette-bucket inverted index over a finished
+// coloring: for every color c, the vertices holding c, in CSR layout (Off
+// has NumColors+1 entries into Vtx, bucket c is Vtx[Off[c]:Off[c+1]]). It is
+// the at-rest twin of the conflict kernel's in-memory bucket structures
+// (backend.Buckets, backend.FixedBuckets): artifacts serialize it next to
+// the coloring so a reloading server answers group queries — and replays a
+// parent grouping into append/refine child jobs — without rebuilding
+// anything. Vertices within a bucket appear in ascending id order
+// (BuildIndex is a counting sort over vertex order), so two indexes over
+// the same coloring are bit-identical.
+type Index struct {
+	Off []int64
+	Vtx []int32
+}
+
+// BuildIndex builds the inverted index of a complete coloring (color ids
+// >= 0; sparse ids are fine — unused colors become empty buckets). An
+// uncolored entry is an error: the index represents finished results only.
+func BuildIndex(colors []int32) (*Index, error) {
+	maxC := int32(-1)
+	for v, c := range colors {
+		if c < 0 {
+			return nil, fmt.Errorf("bucket: vertex %d is uncolored", v)
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	ix := &Index{Off: make([]int64, maxC+2), Vtx: make([]int32, len(colors))}
+	for _, c := range colors {
+		ix.Off[c+1]++
+	}
+	for c := 1; c < len(ix.Off); c++ {
+		ix.Off[c] += ix.Off[c-1]
+	}
+	cursor := grow.Slice([]int64(nil), int(maxC+1))
+	copy(cursor, ix.Off[:maxC+1])
+	for v, c := range colors {
+		ix.Vtx[cursor[c]] = int32(v)
+		cursor[c]++
+	}
+	return ix, nil
+}
+
+// NumColors returns the color-id range [0, NumColors) the index covers,
+// including empty buckets left by sparse ids.
+func (ix *Index) NumColors() int { return len(ix.Off) - 1 }
+
+// NumVertices returns the number of indexed vertices.
+func (ix *Index) NumVertices() int { return len(ix.Vtx) }
+
+// Bucket returns the vertices holding color c (possibly empty), sharing the
+// index's storage.
+func (ix *Index) Bucket(c int32) []int32 {
+	return ix.Vtx[ix.Off[c]:ix.Off[c+1]]
+}
+
+// Groups converts the index into color classes in ascending color order,
+// skipping empty buckets — the exact [][]int shape picasso.ColorGroups
+// produces from the same coloring, so a rehydrated job serves groups
+// bit-for-bit equal to the run that persisted them.
+func (ix *Index) Groups() [][]int {
+	out := make([][]int, 0, ix.NumColors())
+	for c := int32(0); int(c) < ix.NumColors(); c++ {
+		b := ix.Bucket(c)
+		if len(b) == 0 {
+			continue
+		}
+		g := make([]int, len(b))
+		for i, v := range b {
+			g[i] = int(v)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Colors reconstructs the per-vertex coloring the index was built from.
+func (ix *Index) Colors() []int32 {
+	colors := make([]int32, len(ix.Vtx))
+	for c := 0; c < ix.NumColors(); c++ {
+		for _, v := range ix.Vtx[ix.Off[c]:ix.Off[c+1]] {
+			colors[v] = int32(c)
+		}
+	}
+	return colors
+}
+
+// Validate checks the CSR invariants a deserialized index must satisfy
+// before anything trusts it: Off starts at 0, is monotone, ends at
+// len(Vtx), and Vtx is a permutation of [0, NumVertices).
+func (ix *Index) Validate() error {
+	if len(ix.Off) == 0 || ix.Off[0] != 0 {
+		return fmt.Errorf("bucket: index offsets must start at 0")
+	}
+	for c := 1; c < len(ix.Off); c++ {
+		if ix.Off[c] < ix.Off[c-1] {
+			return fmt.Errorf("bucket: index offsets decrease at color %d", c)
+		}
+	}
+	if ix.Off[len(ix.Off)-1] != int64(len(ix.Vtx)) {
+		return fmt.Errorf("bucket: index offsets end at %d, have %d vertices",
+			ix.Off[len(ix.Off)-1], len(ix.Vtx))
+	}
+	seen := make([]bool, len(ix.Vtx))
+	for _, v := range ix.Vtx {
+		if v < 0 || int(v) >= len(ix.Vtx) || seen[v] {
+			return fmt.Errorf("bucket: index vertex %d out of range or duplicated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Bytes is the index footprint for cache accounting: live entries, not
+// capacity.
+func (ix *Index) Bytes() int64 {
+	return int64(len(ix.Off))*8 + int64(len(ix.Vtx))*4
+}

@@ -1,0 +1,119 @@
+package bucket
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBuildIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	colors := make([]int32, 1000)
+	for i := range colors {
+		colors[i] = int32(rng.Intn(50) * 2) // sparse ids: every odd color empty
+	}
+	ix, err := BuildIndex(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumVertices() != len(colors) {
+		t.Fatalf("NumVertices = %d, want %d", ix.NumVertices(), len(colors))
+	}
+	if got := ix.Colors(); !reflect.DeepEqual(got, colors) {
+		t.Fatal("Colors() does not reconstruct the input coloring")
+	}
+	// Buckets hold exactly the vertices of their color, in ascending order.
+	for c := int32(0); int(c) < ix.NumColors(); c++ {
+		prev := int32(-1)
+		for _, v := range ix.Bucket(c) {
+			if colors[v] != c {
+				t.Fatalf("bucket %d holds vertex %d of color %d", c, v, colors[v])
+			}
+			if v <= prev {
+				t.Fatalf("bucket %d not in ascending vertex order", c)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestIndexGroupsMatchesColorGroups pins the contract the server's
+// rehydration path relies on: Index.Groups() over a coloring is exactly the
+// group partition picasso.ColorGroups produces — ascending color order,
+// empty buckets skipped, vertices ascending within a group.
+func TestIndexGroupsMatchesColorGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	colors := make([]int32, 500)
+	for i := range colors {
+		colors[i] = int32(rng.Intn(60) * 3)
+	}
+	ix, err := BuildIndex(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := colorGroupsReference(colors)
+	if got := ix.Groups(); !reflect.DeepEqual(got, want) {
+		t.Fatal("Index.Groups() differs from the reference group partition")
+	}
+}
+
+// colorGroupsReference mirrors picasso.ColorGroups (reimplemented here to
+// avoid an import cycle: the root package imports this one).
+func colorGroupsReference(colors []int32) [][]int {
+	maxC := int32(-1)
+	for _, c := range colors {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	byColor := make([][]int, maxC+1)
+	for v, c := range colors {
+		byColor[c] = append(byColor[c], v)
+	}
+	out := make([][]int, 0, len(byColor))
+	for _, g := range byColor {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func TestBuildIndexRejectsUncolored(t *testing.T) {
+	if _, err := BuildIndex([]int32{0, 1, -1, 2}); err == nil {
+		t.Fatal("uncolored vertex accepted")
+	}
+}
+
+func TestBuildIndexEmpty(t *testing.T) {
+	ix, err := BuildIndex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumColors() != 0 || ix.NumVertices() != 0 || len(ix.Groups()) != 0 {
+		t.Fatalf("empty coloring produced a non-empty index: %+v", ix)
+	}
+}
+
+func TestValidateRejectsCorruptIndexes(t *testing.T) {
+	bad := []*Index{
+		{Off: nil, Vtx: nil},                         // no offsets at all
+		{Off: []int64{1, 2}, Vtx: []int32{0, 1}},     // does not start at 0
+		{Off: []int64{0, 2, 1}, Vtx: []int32{0}},     // decreasing
+		{Off: []int64{0, 1}, Vtx: []int32{0, 1}},     // ends short of Vtx
+		{Off: []int64{0, 2}, Vtx: []int32{0, 0}},     // duplicate vertex
+		{Off: []int64{0, 2}, Vtx: []int32{0, 7}},     // out-of-range vertex
+		{Off: []int64{0, 1, 2}, Vtx: []int32{1, -1}}, // negative vertex
+	}
+	for i, ix := range bad {
+		if err := ix.Validate(); err == nil {
+			t.Fatalf("corrupt index %d validated", i)
+		}
+	}
+}

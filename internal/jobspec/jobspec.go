@@ -6,6 +6,18 @@
 // Options / BuildInput path — so a job means exactly the same thing whether
 // it arrives on argv or over HTTP, and the service can key its result cache
 // on the canonical form.
+//
+// The canonical form (Canonical) is load-bearing well beyond this package:
+// it is the dedup key of the service's in-memory job table, the input to
+// the deterministic job id, and the content address of on-disk artifacts
+// (internal/artifact). Its invariant: Normalize is idempotent, and after
+// Normalize two specs describe the same job if and only if their Canonical
+// strings are byte-identical. Every normalization rule therefore rewrites
+// toward a single spelling (exact-unit byte sizes, Table II instance
+// names, cleared defaults) — a new field must either have one canonical
+// spelling or be excluded from serialization, or identical jobs stop
+// deduplicating. ParseCanonical is the inverse direction, used when a
+// persisted artifact is all that remains of a job.
 package jobspec
 
 import (
@@ -324,6 +336,25 @@ func (s Spec) Canonical() string {
 		panic(fmt.Sprintf("jobspec: canonicalizing: %v", err))
 	}
 	return string(b)
+}
+
+// ParseCanonical decodes a canonical spec string (as produced by
+// Canonical) back into a validated Spec — the recovery path for jobs whose
+// only remaining record is a persisted artifact. Unknown fields and specs
+// that fail Normalize are rejected; note that child-job cache keys
+// ("...+append:...", "...+refine:...") are canonical strings but not
+// canonical specs, and fail here by design.
+func ParseCanonical(canonical string) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(canonical))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("jobspec: parsing canonical spec: %w", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
 }
 
 // Options translates a normalized spec into run options. Device and

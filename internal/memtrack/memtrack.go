@@ -5,6 +5,30 @@
 // conflict COO/CSR, forbidden arrays, worklists) with a Tracker and reports
 // the peak of the running sum — the same quantity max-RSS approximates on
 // the paper's testbed.
+//
+// Beyond metering, a Tracker doubles as the engine's budget governor.
+// SetBudget arms a byte ceiling; every Alloc that pushes the running sum
+// across it is counted as a crossing and fires the notify callback once per
+// crossing (an edge detector, not a level alarm). Allocations are never
+// failed by the tracker itself — enforcement is the observer's policy: the
+// streaming engine derives its shard size from the budget and shrinks it on
+// a crossing, one-shot runs merely report BudgetExceeded in their result,
+// and tests assert the recorded peak stayed under the ceiling. The
+// invariant the governor guarantees is narrower and stronger than "never
+// exceed": a crossing can never pass unrecorded.
+//
+// For concurrent work, Child builds a forwarding hierarchy: a child tracker
+// meters one unit of work (a stream lane, a pipelined shard build) exactly
+// — its peak is that unit's bytes alone — while forwarding every Alloc and
+// Free to the parent, whose current/peak therefore cover all in-flight
+// units combined. Budgets are armed on the parent only; the budget verdict
+// is a property of the whole run, never of a single lane. The coloring
+// service leans on the same mechanism per job: each job's tracker is
+// independent, so one job's verdict never bleeds into another's.
+//
+// The zero Tracker is ready to use, and a nil *Tracker is a valid no-op
+// sink, so instrumented code paths carry no nil checks and no overhead when
+// accounting is off.
 package memtrack
 
 import "sync"

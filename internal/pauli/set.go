@@ -213,6 +213,39 @@ func (s *Set) Bytes() int64 {
 	return b
 }
 
+// Slab exposes the packed encoding words backing the set — wordsPer
+// consecutive words per string, row-major — for zero-copy serialization
+// (the artifact store writes these words verbatim). Callers must treat the
+// returned slice as read-only; it aliases the set's storage.
+func (s *Set) Slab() []uint64 { return s.slab }
+
+// Coeffs exposes the per-string coefficients (nil when none are stored),
+// aliasing the set's storage like Slab. Read-only by contract.
+func (s *Set) Coeffs() []float64 { return s.coeffs }
+
+// NewSetFromSlab reconstitutes a set of m strings on n qubits directly from
+// its packed representation — the inverse of Slab/Coeffs, used by the
+// artifact store to skip re-parsing entirely. The set takes ownership of
+// both slices. coeffs may be nil; otherwise it must hold one entry per
+// string.
+func NewSetFromSlab(n, m int, slab []uint64, coeffs []float64) (*Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pauli: set of %d-qubit strings", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("pauli: set of %d strings", m)
+	}
+	wordsPer := bitvec.WordsFor(n)
+	if len(slab) != m*wordsPer {
+		return nil, fmt.Errorf("pauli: slab holds %d words, %d strings on %d qubits need %d",
+			len(slab), m, n, m*wordsPer)
+	}
+	if coeffs != nil && len(coeffs) != m {
+		return nil, fmt.Errorf("pauli: %d coefficients for %d strings", len(coeffs), m)
+	}
+	return &Set{n: n, wordsPer: wordsPer, slab: slab, coeffs: coeffs}, nil
+}
+
 // Strings renders every string's letter form; for tests and small dumps.
 func (s *Set) Strings() []string {
 	out := make([]string, s.Len())

@@ -1,0 +1,65 @@
+package pauli
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"picasso/internal/bitvec"
+)
+
+func TestNewSetFromSlabRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := NewSet(40)
+	for i := 0; i < 100; i++ {
+		orig.AppendWithCoeff(RandomNonIdentity(40, rng), rng.NormFloat64())
+	}
+
+	rebuilt, err := NewSetFromSlab(orig.Qubits(), orig.Len(), orig.Slab(), orig.Coeffs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Qubits() != orig.Qubits() || rebuilt.Len() != orig.Len() {
+		t.Fatalf("rebuilt set is %d strings on %d qubits, want %d on %d",
+			rebuilt.Len(), rebuilt.Qubits(), orig.Len(), orig.Qubits())
+	}
+	if !reflect.DeepEqual(rebuilt.Slab(), orig.Slab()) {
+		t.Fatal("slab words differ")
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if !rebuilt.At(i).Equal(orig.At(i)) {
+			t.Fatalf("string %d differs", i)
+		}
+		if rebuilt.Coeff(i) != orig.Coeff(i) {
+			t.Fatalf("coefficient %d differs", i)
+		}
+	}
+}
+
+func TestNewSetFromSlabValidation(t *testing.T) {
+	words := bitvec.WordsFor(16)
+	good := make([]uint64, 3*words)
+	cases := []struct {
+		name   string
+		n, m   int
+		slab   []uint64
+		coeffs []float64
+	}{
+		{"zero qubits", 0, 3, good, nil},
+		{"negative count", 16, -1, nil, nil},
+		{"slab too short", 16, 3, good[:len(good)-1], nil},
+		{"slab too long", 16, 2, good, nil},
+		{"coeffs wrong length", 16, 3, good, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		if _, err := NewSetFromSlab(tc.n, tc.m, tc.slab, tc.coeffs); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewSetFromSlab(16, 3, good, nil); err != nil {
+		t.Fatalf("valid slab rejected: %v", err)
+	}
+	if _, err := NewSetFromSlab(16, 0, nil, nil); err != nil {
+		t.Fatalf("empty slab rejected: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"picasso/internal/artifact"
+	"picasso/internal/bucket"
+	"picasso/internal/jobspec"
+)
+
+// waitJobDone polls the server directly (no HTTP) until a job is terminal.
+func waitJobDone(t *testing.T, s *Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch st.State {
+		case StateDone:
+			return
+		case StateFailed, StateCancelled:
+			t.Fatalf("job %s finished %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}
+
+// TestDiskTierSurvivesRestart is the acceptance test for the disk tier:
+// color a job with an artifact dir, tear the server down, start a fresh one
+// on the same dir, and resubmit the identical spec — the answer must come
+// from disk (a cache hit with zero completed jobs) with bit-identical
+// groups.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"random":"300:0.5","seed":1}`
+
+	s1, ts1 := newTestServer(t, Config{Workers: 2, ArtifactDir: dir})
+	code, sr := postJob(t, ts1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if st := waitState(t, ts1, sr.ID); st.State != StateDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	var g1 GroupsResponse
+	if code := getJSON(t, ts1, "/v1/jobs/"+sr.ID+"/groups", &g1); code != http.StatusOK {
+		t.Fatalf("groups: HTTP %d", code)
+	}
+	if n := s1.Stats().ArtifactWrites; n != 1 {
+		t.Fatalf("artifact_writes = %d, want 1", n)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := newTestServer(t, Config{Workers: 2, ArtifactDir: dir})
+	code, sr2 := postJob(t, ts2, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit after restart: HTTP %d, want 200 (disk hit)", code)
+	}
+	if !sr2.CacheHit || sr2.ID != sr.ID || sr2.State != StateDone {
+		t.Fatalf("resubmit response: %+v", sr2)
+	}
+	var g2 GroupsResponse
+	if code := getJSON(t, ts2, "/v1/jobs/"+sr2.ID+"/groups", &g2); code != http.StatusOK {
+		t.Fatalf("groups after restart: HTTP %d", code)
+	}
+	if !reflect.DeepEqual(g1.Groups, g2.Groups) {
+		t.Fatal("rehydrated groups differ from the original run's")
+	}
+	stats := s2.Stats()
+	if stats.Completed != 0 {
+		t.Fatalf("restarted server recolored (completed = %d), want disk hit only", stats.Completed)
+	}
+	if stats.DiskHits != 1 {
+		t.Fatalf("disk_hits = %d, want 1", stats.DiskHits)
+	}
+
+	// A second resubmission is now a plain memory hit, not another disk read.
+	if code, sr3 := postJob(t, ts2, spec); code != http.StatusOK || !sr3.CacheHit || sr3.Hits != 2 {
+		t.Fatalf("second resubmit: HTTP %d, %+v", code, sr3)
+	}
+	if got := s2.Stats().DiskHits; got != 1 {
+		t.Fatalf("disk_hits after memory hit = %d, want still 1", got)
+	}
+}
+
+// TestAppendParentResolvedFromDisk restarts the server and submits an
+// append against the old job id without resubmitting the parent spec: the
+// parent must be rehydrated from its artifact instead of 404ing.
+func TestAppendParentResolvedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"strings":["XXXX","YYYY","ZZZZ","XYZI","IZYX","ZIXY"],"seed":1}`
+
+	s1, ts1 := newTestServer(t, Config{Workers: 2, ArtifactDir: dir})
+	code, sr := postJob(t, ts1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if st := waitState(t, ts1, sr.ID); st.State != StateDone {
+		t.Fatalf("parent finished %s: %s", st.State, st.Error)
+	}
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := newTestServer(t, Config{Workers: 2, ArtifactDir: dir})
+	acode, asr, _ := postPath(t, ts2, "/v1/jobs/"+sr.ID+"/append", `{"strings":["XIXI","IYIY"]}`)
+	if acode != http.StatusAccepted {
+		t.Fatalf("append after restart: HTTP %d, want 202 (parent from disk)", acode)
+	}
+	st := waitState(t, ts2, asr.ID)
+	if st.State != StateDone {
+		t.Fatalf("append job finished %s: %s", st.State, st.Error)
+	}
+	if st.AppendTo != sr.ID || st.AppendCount != 2 {
+		t.Fatalf("append lineage: %+v", st)
+	}
+	if st.Result == nil || st.Result.Vertices != 8 {
+		t.Fatalf("append result: %+v", st.Result)
+	}
+
+	// The refine endpoint resolves the same way.
+	rcode, rsr, _ := postPath(t, ts2, "/v1/jobs/"+sr.ID+"/refine", `{}`)
+	if rcode != http.StatusAccepted && rcode != http.StatusOK {
+		t.Fatalf("refine after restart: HTTP %d", rcode)
+	}
+	if st := waitState(t, ts2, rsr.ID); st.State != StateDone {
+		t.Fatalf("refine job finished %s: %s", st.State, st.Error)
+	}
+}
+
+// TestPrepSlabReuse seeds the store with a slab-only prep artifact (what
+// `picasso -prep` writes) and proves the server colors the spec without
+// re-parsing: the run consumes the prepped slab (artifact_loads = 1) and
+// still produces a full result.
+func TestPrepSlabReuse(t *testing.T) {
+	dir := t.TempDir()
+	spec := jobspec.Spec{Strings: []string{"XXXX", "YYYY", "ZZZZ", "XYZI", "IZYX", "ZIXY"}, Seed: 1}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, set, err := spec.BuildInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := artifact.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(&artifact.Artifact{Spec: spec.Canonical(), Set: set}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := newTestServer(t, Config{Workers: 1, ArtifactDir: dir})
+	job, hit, err := s.Submit(spec)
+	if err != nil || hit {
+		t.Fatalf("submit: hit=%v err=%v", hit, err)
+	}
+	waitJobDone(t, s, job.ID)
+	stats := s.Stats()
+	if stats.ArtifactLoads != 1 {
+		t.Fatalf("artifact_loads = %d, want 1 (prepped slab reused)", stats.ArtifactLoads)
+	}
+	if stats.Completed != 1 || stats.DiskHits != 0 {
+		t.Fatalf("stats after prep-tier run: %+v", stats)
+	}
+}
+
+// TestCLIArtifactServesAsDiskHit writes a finished artifact the way the CLI
+// does — spec, slab, coloring, index, but no server meta envelope — and
+// proves a server pointed at the store answers the spec from disk via the
+// ParseCanonical fallback.
+func TestCLIArtifactServesAsDiskHit(t *testing.T) {
+	dir := t.TempDir()
+	spec := jobspec.Spec{Strings: []string{"XXXX", "YYYY", "ZZZZ", "XYZI"}, Seed: 1}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, set, err := spec.BuildInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := []int32{0, 0, 0, 1} // any complete coloring rehydrates
+	ix, err := bucket.BuildIndex(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := artifact.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(&artifact.Artifact{Spec: spec.Canonical(), Set: set, Index: ix, Colors: colors}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := newTestServer(t, Config{Workers: 1, ArtifactDir: dir})
+	job, hit, err := s.Submit(spec)
+	if err != nil || !hit {
+		t.Fatalf("submit: hit=%v err=%v", hit, err)
+	}
+	if job.State != StateDone || len(job.Groups) != 2 {
+		t.Fatalf("rehydrated CLI artifact: state=%s groups=%d", job.State, len(job.Groups))
+	}
+	if got := s.Stats().DiskHits; got != 1 {
+		t.Fatalf("disk_hits = %d, want 1", got)
+	}
+}
+
+// TestNoArtifactDirNoDiskTier pins the default: without ArtifactDir the
+// counters stay zero and restarts forget everything, exactly as before.
+func TestNoArtifactDirNoDiskTier(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	code, sr := postJob(t, ts, `{"random":"100:0.5","seed":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, ts, sr.ID)
+	stats := s.Stats()
+	if stats.DiskHits != 0 || stats.ArtifactLoads != 0 || stats.ArtifactWrites != 0 {
+		t.Fatalf("disk-tier counters moved without an artifact dir: %+v", stats)
+	}
+}

@@ -92,7 +92,10 @@ func (s *Server) respondSubmit(w http.ResponseWriter, job *Job, hit bool, err er
 // (append, refine) and enforces the done-state gate: a missing parent or a
 // terminal-but-not-successful one (cancelled, failed) gets its typed error
 // written here and nil returned — never a child job that would replay empty
-// groups. A returned parent is done: its Spec, Result, Groups and lineage
+// groups. A parent absent from the job table — evicted, or finished by an
+// earlier process — is resolved from the disk tier before 404ing: a child
+// job can outlive its parent's stay in memory as long as the artifact
+// survives. A returned parent is done: its Spec, Result, Groups and lineage
 // fields are write-once before that state and safe to read lock-free.
 func (s *Server) doneParent(w http.ResponseWriter, id, kind, verb string) *Job {
 	s.mu.Lock()
@@ -103,6 +106,11 @@ func (s *Server) doneParent(w http.ResponseWriter, id, kind, verb string) *Job {
 		state = parent.State
 	}
 	s.mu.Unlock()
+	if !ok {
+		if parent = s.rehydrateByID(id); parent != nil {
+			ok, state = true, parent.State
+		}
+	}
 	switch {
 	case !ok:
 		writeErrorCode(w, http.StatusNotFound, ErrCodeUnknownJob, "unknown job id")

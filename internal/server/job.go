@@ -3,11 +3,10 @@ package server
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"time"
 
+	"picasso/internal/artifact"
 	"picasso/internal/jobspec"
 )
 
@@ -76,10 +75,11 @@ type refineJob struct {
 
 // JobID derives the deterministic job id from a canonical spec: the same
 // job spec always maps to the same id, on every server, which is what makes
-// resubmission idempotent and the result cache addressable.
+// resubmission idempotent and the result cache addressable. It is exactly
+// the artifact content address (artifact.Address), so a job id doubles as
+// the job's filename on the disk tier and the two can never drift.
 func JobID(canonical string) string {
-	sum := sha256.Sum256([]byte(canonical))
-	return "j" + hex.EncodeToString(sum[:8])
+	return artifact.Address(canonical)
 }
 
 // appendCanonical derives an append job's cache key from the parent's

@@ -103,19 +103,26 @@ type GroupsResponse struct {
 }
 
 // StatsResponse answers GET /v1/stats with the server's lifetime counters.
+// The three artifact counters report the disk tier: disk_hits are
+// submissions answered from a persisted artifact without recoloring,
+// artifact_loads are prepped slabs reused instead of re-parsing, and
+// artifact_writes are finished jobs persisted.
 type StatsResponse struct {
-	Submitted  int64 `json:"submitted"`
-	CacheHits  int64 `json:"cache_hits"`
-	Completed  int64 `json:"completed"`
-	Failed     int64 `json:"failed"`
-	Cancelled  int64 `json:"cancelled"`
-	Rejected   int64 `json:"rejected"`
-	Evicted    int64 `json:"evicted"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
-	Retained   int   `json:"retained"`
-	CacheBytes int64 `json:"cache_bytes"`
-	Workers    int   `json:"workers"`
+	Submitted      int64 `json:"submitted"`
+	CacheHits      int64 `json:"cache_hits"`
+	DiskHits       int64 `json:"disk_hits"`
+	ArtifactLoads  int64 `json:"artifact_loads"`
+	ArtifactWrites int64 `json:"artifact_writes"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	Cancelled      int64 `json:"cancelled"`
+	Rejected       int64 `json:"rejected"`
+	Evicted        int64 `json:"evicted"`
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+	Retained       int   `json:"retained"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	Workers        int   `json:"workers"`
 }
 
 // ErrorResponse is the uniform error body. Code, when present, is a stable

@@ -41,7 +41,7 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 	s.mu.Unlock()
 
 	t0 := time.Now()
-	summary, groups, err := func() (sum *ResultSummary, groups [][]int, err error) {
+	summary, groups, set, err := func() (sum *ResultSummary, groups [][]int, set *picasso.PauliSet, err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				err = fmt.Errorf("panic: %v", rec)
@@ -51,10 +51,19 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 	}()
 	elapsed := time.Since(t0)
 
+	finished := time.Now()
+	if err == nil {
+		// Persist before the done state becomes observable: a client that
+		// sees "done" may immediately restart the server against the same
+		// artifact dir and expect the disk tier to answer.
+		summary.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		s.persistArtifact(job, set, groups, summary, finished)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
-	job.FinishedAt = time.Now()
+	job.FinishedAt = finished
 	switch {
 	case errors.Is(err, context.Canceled):
 		job.State = StateCancelled
@@ -65,7 +74,6 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 		job.Err = err.Error()
 		s.stats.failed++
 	default:
-		summary.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		job.State = StateDone
 		job.Result = summary
 		job.Groups = groups
@@ -79,8 +87,9 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 // all iteration-scoped buffers from the worker's arena and observes the
 // job's cancellation context at every engine stage boundary. Specs that
 // asked to stream run on the partitioned engine; append jobs extend their
-// parent's frozen grouping.
-func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int, error) {
+// parent's frozen grouping. The returned set is the materialized Pauli
+// input (nil for oracle jobs) so run can persist it alongside the result.
+func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int, *picasso.PauliSet, error) {
 	opts := job.Spec.Options()
 	if opts.Backend == "" {
 		opts.Backend = s.cfg.DefaultBackend
@@ -124,9 +133,9 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		return s.colorRefine(job, opts)
 	}
 
-	oracle, set, err := job.Spec.BuildInput()
+	oracle, set, err := s.buildInput(job)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var res *picasso.Result
 	switch {
@@ -140,7 +149,7 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		res, err = picasso.ColorContext(job.ctx, oracle, opts)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// Specs with a refine block run the palette-refinement pass in the same
@@ -160,16 +169,27 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 			rst, err = picasso.Refine(job.ctx, oracle, res.Colors, opts, ropts)
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		groups := picasso.ColorGroups(rst.Colors)
 		sum := summarize(res, groups)
 		refineSummarize(sum, res.NumColors, rst)
-		return sum, groups, nil
+		return sum, groups, set, nil
 	}
 
 	groups := picasso.ColorGroups(res.Colors)
-	return summarize(res, groups), groups, nil
+	return summarize(res, groups), groups, set, nil
+}
+
+// buildInput materializes a job's input, consulting the disk tier first: a
+// prep artifact matching the base spec hands back the parsed slab and skips
+// the parse entirely. Child jobs come through here too — their Spec is the
+// base spec, which is exactly the artifact that holds the shared slab.
+func (s *Server) buildInput(job *Job) (picasso.Oracle, *picasso.PauliSet, error) {
+	if set := s.prepSet(job); set != nil {
+		return nil, set, nil
+	}
+	return job.Spec.BuildInput()
 }
 
 // colorRefine rebuilds the parent's input (base spec plus any appended
@@ -177,14 +197,14 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 // runs the palette-refinement pass over it. The parent grouping was proper
 // by construction; refinement keeps it proper while shrinking the group
 // count, and the job's groups are the compacted partition.
-func (s *Server) colorRefine(job *Job, opts picasso.Options) (*ResultSummary, [][]int, error) {
-	oracle, set, err := job.Spec.BuildInput()
+func (s *Server) colorRefine(job *Job, opts picasso.Options) (*ResultSummary, [][]int, *picasso.PauliSet, error) {
+	oracle, set, err := s.buildInput(job)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if set != nil {
 		if err := appendStringsToSet(set, job.Refine.Strings); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	n := 0
@@ -201,11 +221,11 @@ func (s *Server) colorRefine(job *Job, opts picasso.Options) (*ResultSummary, []
 		prevLen += len(group)
 	}
 	if prevLen != n {
-		return nil, nil, fmt.Errorf("refine parent groups cover %d of %d vertices", prevLen, n)
+		return nil, nil, nil, fmt.Errorf("refine parent groups cover %d of %d vertices", prevLen, n)
 	}
 	prev, err := replayGroups(job.Refine.Groups, n)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	if job.Refine.BudgetBytes > 0 {
@@ -219,12 +239,12 @@ func (s *Server) colorRefine(job *Job, opts picasso.Options) (*ResultSummary, []
 		rst, err = picasso.Refine(job.ctx, oracle, prev, opts, ropts)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	groups := picasso.ColorGroups(rst.Colors)
 	sum := &ResultSummary{Vertices: n, NumGroups: len(groups)}
 	refineSummarize(sum, rst.ColorsBefore, rst)
-	return sum, groups, nil
+	return sum, groups, set, nil
 }
 
 // appendStringsToSet parses a child job's carried strings and appends them
@@ -287,17 +307,17 @@ func refineSummarize(sum *ResultSummary, colorsBefore int, rst *picasso.RefineSt
 // ones), and extends the frozen grouping: every vertex the parent's groups
 // cover keeps its exact group, the rest are colored against them by the
 // streaming engine's fixed-color pass.
-func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, [][]int, error) {
-	_, set, err := job.Spec.BuildInput()
+func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, [][]int, *picasso.PauliSet, error) {
+	_, set, err := s.buildInput(job)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if set == nil {
-		return nil, nil, fmt.Errorf("append parent is not a Pauli job")
+		return nil, nil, nil, fmt.Errorf("append parent is not a Pauli job")
 	}
 	base := set.Len()
 	if err := appendStringsToSet(set, job.Append.Strings); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// The frozen prefix is whatever the parent's groups cover: the base
@@ -309,20 +329,20 @@ func (s *Server) colorAppend(job *Job, opts picasso.Options) (*ResultSummary, []
 		prevLen += len(group)
 	}
 	if prevLen < base || prevLen > set.Len() {
-		return nil, nil, fmt.Errorf("append parent groups cover %d strings, expected between %d and %d",
+		return nil, nil, nil, fmt.Errorf("append parent groups cover %d strings, expected between %d and %d",
 			prevLen, base, set.Len())
 	}
 	prev, err := replayGroups(job.Append.Groups, prevLen)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	res, err := picasso.ExtendPauli(job.ctx, set, prev, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	groups := picasso.ColorGroups(res.Colors)
-	return summarize(res, groups), groups, nil
+	return summarize(res, groups), groups, set, nil
 }
 
 // summarize digests a Result for the status endpoint.

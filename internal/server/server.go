@@ -11,6 +11,14 @@
 // running job, or is answered straight from the completed-job LRU without
 // recoloring. That dedup is the hot path for a service fronting many
 // clients that ask for the same grouping.
+//
+// With Config.ArtifactDir set, the result cache gains a disk tier
+// (internal/artifact): finished jobs are persisted as content-addressed
+// .pic artifacts, a resubmission after a restart rehydrates from disk
+// without recoloring, prepped slabs are loaded instead of re-parsing the
+// input, and append/refine child jobs resolve a parent this process never
+// ran from its persisted artifact. Replicas pointed at a shared directory
+// share all of the above.
 package server
 
 import (
@@ -23,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"picasso/internal/artifact"
 	"picasso/internal/backend"
 	"picasso/internal/jobspec"
 )
@@ -59,6 +68,11 @@ type Config struct {
 	// cross-shard repair) for streamed jobs whose spec sets neither knob;
 	// values below 2 mean off. Takes precedence over DefaultPipeline.
 	DefaultSpeculate int
+	// ArtifactDir, when non-empty, arms the disk tier: finished jobs are
+	// persisted as content-addressed artifacts there (surviving restarts),
+	// resubmissions rehydrate from disk without recoloring, prepped slabs
+	// skip re-parsing, and child jobs resolve absent parents from disk.
+	ArtifactDir string
 }
 
 func (c *Config) fill() error {
@@ -120,6 +134,7 @@ type Server struct {
 	mux   *http.ServeMux
 	queue chan *Job
 	wg    sync.WaitGroup
+	store *artifact.Store // disk tier, nil when ArtifactDir is unset
 
 	mu         sync.Mutex
 	closed     bool
@@ -129,6 +144,7 @@ type Server struct {
 	running    int
 	stats      struct {
 		submitted, cacheHits, completed, failed, cancelled, rejected, evicted int64
+		diskHits, artifactLoads, artifactWrites                               int64
 	}
 }
 
@@ -142,6 +158,13 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
 		done:  list.New(),
+	}
+	if cfg.ArtifactDir != "" {
+		store, err := artifact.NewStore(cfg.ArtifactDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = store
 	}
 	s.routes()
 	s.wg.Add(cfg.Workers)
@@ -271,12 +294,38 @@ func parentAppendedStrings(parent *Job) []string {
 }
 
 // enqueue dedups and queues a prepared job. Callers fill identity fields;
-// enqueue owns lifecycle fields (state, times, cancellation context).
+// enqueue owns lifecycle fields (state, times, cancellation context). The
+// lookup order is memory, then disk, then real work: a canonical spec
+// matching an artifact on the disk tier rehydrates into the done LRU (a
+// cache hit) instead of recoloring.
 func (s *Server) enqueue(j *Job) (*Job, bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.submitted++
 	if existing, ok := s.jobs[j.ID]; ok {
+		existing.Hits++
+		s.stats.cacheHits++
+		s.touch(existing)
+		s.mu.Unlock()
+		return existing, true, nil
+	}
+	if s.closed {
+		s.stats.rejected++
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	s.mu.Unlock()
+
+	// Disk tier, consulted outside the lock (file IO): a hit installs the
+	// finished job; a concurrent submitter of the same spec converges onto
+	// whichever install wins.
+	if hydrated := s.rehydrate(j); hydrated != nil {
+		return hydrated, true, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[j.ID]; ok {
+		// Raced with another submitter between the two critical sections.
 		existing.Hits++
 		s.stats.cacheHits++
 		s.touch(existing)
@@ -350,17 +399,20 @@ func (s *Server) Stats() StatsResponse {
 		}
 	}
 	return StatsResponse{
-		Submitted:  s.stats.submitted,
-		CacheHits:  s.stats.cacheHits,
-		Completed:  s.stats.completed,
-		Failed:     s.stats.failed,
-		Cancelled:  s.stats.cancelled,
-		Rejected:   s.stats.rejected,
-		Evicted:    s.stats.evicted,
-		Queued:     queued,
-		Running:    s.running,
-		Retained:   s.done.Len(),
-		CacheBytes: s.cacheBytes,
-		Workers:    s.cfg.Workers,
+		Submitted:      s.stats.submitted,
+		CacheHits:      s.stats.cacheHits,
+		DiskHits:       s.stats.diskHits,
+		ArtifactLoads:  s.stats.artifactLoads,
+		ArtifactWrites: s.stats.artifactWrites,
+		Completed:      s.stats.completed,
+		Failed:         s.stats.failed,
+		Cancelled:      s.stats.cancelled,
+		Rejected:       s.stats.rejected,
+		Evicted:        s.stats.evicted,
+		Queued:         queued,
+		Running:        s.running,
+		Retained:       s.done.Len(),
+		CacheBytes:     s.cacheBytes,
+		Workers:        s.cfg.Workers,
 	}
 }

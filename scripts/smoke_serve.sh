@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the coloring service: build picasso-serve,
 # start it, submit a small random-graph job, poll to completion, and assert
-# a 200 + non-empty groups response. CI runs this as the service gate; it
-# also works locally: ./scripts/smoke_serve.sh
+# a 200 + non-empty groups response. Then the artifact gate: prep a Pauli
+# input with the CLI, serve it from the prepped slab, restart the server on
+# the same artifact dir, and assert the resubmission is answered from the
+# disk tier without recoloring. CI runs this as the service gate; it also
+# works locally: ./scripts/smoke_serve.sh
 set -euo pipefail
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
@@ -87,4 +90,71 @@ case "$resubmit" in
   *) echo "FAIL: resubmission was not a cache hit" >&2; exit 1 ;;
 esac
 
-echo "OK: job $id colored into $ngroups groups; resubmission served from cache"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
+# --- Artifact gate: prep -> serve -> restart -> cache hit from disk ---
+go build -o /tmp/picasso ./cmd/picasso
+ARTDIR=$(mktemp -d)
+printf 'XXIZ\nIYZX\nZZII\nXYXY\nIIII\nZIZI\n' > /tmp/smoke_paulis.txt
+/tmp/picasso -prep -strings /tmp/smoke_paulis.txt -artifact-dir "$ARTDIR"
+SPEC='{"strings":["XXIZ","IYZX","ZZII","XYXY","IIII","ZIZI"],"seed":1}'
+
+/tmp/picasso-serve -addr "$ADDR" -serve-workers 2 -artifact-dir "$ARTDIR" &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "FAIL: artifact server never became healthy" >&2; exit 1; fi
+  sleep 0.2
+done
+
+asubmit=$(curl -sf -X POST "$BASE/jobs" -d "$SPEC")
+echo "artifact submit: $asubmit"
+aid=$(echo "$asubmit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+for i in $(seq 1 100); do
+  state=$(curl -sf "$BASE/jobs/$aid" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed) echo "FAIL: artifact job failed"; curl -s "$BASE/jobs/$aid" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 100 ]; then echo "FAIL: artifact job never finished (state=$state)" >&2; exit 1; fi
+  sleep 0.2
+done
+
+# The run must have consumed the prepped slab instead of re-parsing.
+stats=$(curl -sf "$BASE/stats")
+loads=$(echo "$stats" | sed -n 's/.*"artifact_loads":\([0-9]*\).*/\1/p')
+if [ "${loads:-0}" -lt 1 ]; then
+  echo "FAIL: server did not load the prep artifact: $stats" >&2
+  exit 1
+fi
+
+# Restart on the same artifact dir: the resubmission must be a disk-tier
+# cache hit — state done immediately, nothing recolored.
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+/tmp/picasso-serve -addr "$ADDR" -serve-workers 2 -artifact-dir "$ARTDIR" &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 50 ]; then echo "FAIL: restarted server never became healthy" >&2; exit 1; fi
+  sleep 0.2
+done
+
+dsubmit=$(curl -sf -X POST "$BASE/jobs" -d "$SPEC")
+echo "disk resubmit: $dsubmit"
+case "$dsubmit" in
+  *'"cache_hit":true'*'"state":"done"'*|*'"state":"done"'*'"cache_hit":true'*) ;;
+  *) echo "FAIL: resubmission after restart was not a done disk hit" >&2; exit 1 ;;
+esac
+dstats=$(curl -sf "$BASE/stats")
+dhits=$(echo "$dstats" | sed -n 's/.*"disk_hits":\([0-9]*\).*/\1/p')
+dcompleted=$(echo "$dstats" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p')
+if [ "${dhits:-0}" -ne 1 ] || [ "${dcompleted:-1}" -ne 0 ]; then
+  echo "FAIL: restart stats want disk_hits=1 completed=0: $dstats" >&2
+  exit 1
+fi
+gcode=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/jobs/$aid/groups")
+if [ "$gcode" != 200 ]; then echo "FAIL: rehydrated groups returned HTTP $gcode" >&2; exit 1; fi
+
+echo "OK: job $id colored into $ngroups groups; resubmission served from cache; disk tier survived a restart"
