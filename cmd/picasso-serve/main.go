@@ -55,7 +55,8 @@ func main() {
 		budget     = flag.String("budget", "", "default per-job host-memory budget for specs without one, e.g. 512MiB")
 		pipeline   = flag.Bool("pipeline", false, "pipeline streamed jobs that set neither pipeline nor speculate")
 		speculate  = flag.Int("speculate", 0, "speculative lanes for streamed jobs that set neither knob (>=2)")
-		artDir     = flag.String("artifact-dir", "", "persist finished jobs as .pic artifacts here; the result cache gains a disk tier that survives restarts")
+		artDir     = flag.String("artifact-dir", "", "persist finished jobs as .pic artifacts here; the result cache gains a disk tier that survives restarts and a job journal that resumes interrupted work")
+		tenantQ    = flag.Int("tenant-quota", 0, "max active jobs per X-Tenant header value; past it submissions get 429 tenant_quota (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,7 @@ func main() {
 		DefaultPipeline:    *pipeline,
 		DefaultSpeculate:   *speculate,
 		ArtifactDir:        *artDir,
+		TenantQuota:        *tenantQ,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "picasso-serve: %v\n", err)
@@ -114,7 +116,14 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
-		srv.Close() // waits for in-flight colorings
+		if *artDir != "" {
+			// With a journal, a drain checkpoints running streamed jobs and
+			// leaves them live on disk: the next picasso-serve on this
+			// artifact dir resumes them instead of recoloring from scratch.
+			srv.Drain()
+		} else {
+			srv.Close() // no journal to resume from: run the queue dry
+		}
 		log.Printf("drained; bye")
 	}
 }

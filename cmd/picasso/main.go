@@ -34,6 +34,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +67,7 @@ func main() {
 		budget   = flag.String("budget", "", "host-memory budget, e.g. 512MiB or 2GB (implies -stream)")
 		pipeline = flag.Bool("pipeline", false, "overlap each shard's build with its predecessor's coloring (implies -stream)")
 		specul   = flag.Int("speculate", 0, "color this many shards concurrently with cross-shard repair (>=2; implies -stream)")
+		deadline = flag.String("deadline", "", "wall-clock limit on the run, e.g. 90s or 5m (empty = none)")
 		refine   = flag.Bool("refine", false, "run the palette-refinement pass after coloring (claw back colors)")
 		refineR  = flag.Int("refine-rounds", 0, "max refinement rounds (0 = engine default; implies -refine)")
 		refineT  = flag.Int("refine-target", 0, "stop refining at this many colors (0 = converge; implies -refine)")
@@ -93,6 +95,7 @@ func main() {
 		Budget:    *budget,
 		Pipeline:  *pipeline,
 		Speculate: *specul,
+		Deadline:  *deadline,
 	}
 	if *mode != jobspec.ModeCustom {
 		spec.PFrac, spec.Alpha = 0, 0
@@ -180,19 +183,29 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if d := spec.DeadlineDuration(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
 	t0 := time.Now()
 	var res *picasso.Result
 	switch {
 	case set != nil && spec.Streamed():
-		res, err = picasso.StreamPauli(context.Background(), set, opts)
+		res, err = picasso.StreamPauli(ctx, set, opts)
 	case set != nil:
-		res, err = picasso.ColorPauli(set, opts)
+		res, err = picasso.ColorPauliContext(ctx, set, opts)
 	case spec.Streamed():
-		res, err = picasso.Stream(context.Background(), oracle, opts)
+		res, err = picasso.Stream(ctx, oracle, opts)
 	default:
-		res, err = picasso.Color(oracle, opts)
+		res, err = picasso.ColorContext(ctx, oracle, opts)
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal("coloring failed: deadline %s exceeded", spec.Deadline)
+		}
 		fatal("coloring failed: %v", err)
 	}
 	elapsed := time.Since(t0)

@@ -43,16 +43,24 @@ func (s *Store) Path(addr string) string {
 	return filepath.Join(s.dir, addr+Ext)
 }
 
-// Put writes the artifact atomically (temp file + rename) under its
-// content address and returns the final path. An existing artifact at the
-// same address is replaced — same address means same canonical spec, so
-// the replacement can only be a richer or equal artifact for the same job.
+// Put writes the artifact atomically and durably under its content
+// address and returns the final path. An existing artifact at the same
+// address is replaced — same address means same canonical spec, so the
+// replacement can only be a richer or equal artifact for the same job.
 func (s *Store) Put(a *Artifact) (string, error) {
 	if a == nil || a.Spec == "" {
 		return "", fmt.Errorf("artifact: storing needs a spec")
 	}
-	path := s.Path(Address(a.Spec))
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*"+Ext)
+	return s.publish(a, s.Path(Address(a.Spec)))
+}
+
+// publish stages the artifact to a temp file, fsyncs it, renames it over
+// path, and fsyncs the parent directory. Rename alone is atomic but not
+// crash-durable: without the file sync the visible name can point at
+// unwritten data after power loss, and without the directory sync the
+// rename itself can be lost. Both syncs happen before publish returns.
+func (s *Store) publish(a *Artifact, path string) (string, error) {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*"+filepath.Ext(path))
 	if err != nil {
 		return "", fmt.Errorf("artifact: staging: %w", err)
 	}
@@ -61,11 +69,21 @@ func (s *Store) Put(a *Artifact) (string, error) {
 		tmp.Close()
 		return "", err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("artifact: syncing: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return "", fmt.Errorf("artifact: staging: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return "", fmt.Errorf("artifact: publishing: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		// Directory sync failure is not unwound — the rename already
+		// happened and most filesystems will persist it anyway.
+		d.Sync()
+		d.Close()
 	}
 	return path, nil
 }
@@ -116,6 +134,69 @@ func (s *Store) GetAddress(addr string) (*Artifact, error) {
 func (s *Store) Has(canonical string) bool {
 	_, err := os.Stat(s.Path(Address(canonical)))
 	return err == nil
+}
+
+// CkptExt is the extension of checkpoint sidecar files: the in-flight
+// RunState of an interrupted streamed run, living next to the finished
+// .pic artifacts at the same address but never aliasing them (a prep
+// artifact and a checkpoint for the same job coexist).
+const CkptExt = ".ckpt"
+
+// CheckpointPath returns the sidecar path for an address.
+func (s *Store) CheckpointPath(addr string) string {
+	return filepath.Join(s.dir, addr+CkptExt)
+}
+
+// PutCheckpoint durably writes a streamed run's checkpoint sidecar: the
+// canonical spec plus the serialized RunState, in the artifact container
+// so it inherits the CRC-checked framing and atomic durable publish. An
+// older checkpoint at the same address is replaced.
+func (s *Store) PutCheckpoint(canonical string, runstate []byte) error {
+	if canonical == "" || len(runstate) == 0 {
+		return fmt.Errorf("artifact: checkpoint needs a spec and a runstate")
+	}
+	_, err := s.publish(&Artifact{Spec: canonical, RunState: runstate},
+		s.CheckpointPath(Address(canonical)))
+	return err
+}
+
+// GetCheckpoint loads and verifies the checkpoint sidecar for an address,
+// returning the canonical spec it belongs to and the serialized RunState.
+// A missing sidecar is ErrNotFound; a corrupt one (bad CRC, foreign spec,
+// no runstate) is a distinct error — callers fall back to restarting the
+// job from scratch either way.
+func (s *Store) GetCheckpoint(addr string) (canonical string, runstate []byte, err error) {
+	if !validAddress(addr) {
+		return "", nil, fmt.Errorf("artifact: malformed address %q", addr)
+	}
+	f, err := os.Open(s.CheckpointPath(addr))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, ErrNotFound
+		}
+		return "", nil, fmt.Errorf("artifact: opening checkpoint %s: %w", addr, err)
+	}
+	defer f.Close()
+	a, err := Decode(f)
+	if err != nil {
+		return "", nil, fmt.Errorf("artifact: checkpoint %s: %w", addr, err)
+	}
+	if got := Address(a.Spec); got != addr {
+		return "", nil, fmt.Errorf("artifact: checkpoint %s holds spec addressed %s", addr, got)
+	}
+	if len(a.RunState) == 0 {
+		return "", nil, fmt.Errorf("artifact: checkpoint %s has no runstate section", addr)
+	}
+	return a.Spec, a.RunState, nil
+}
+
+// DeleteCheckpoint removes the checkpoint sidecar for an address, if any —
+// called when a job reaches a terminal state and the in-flight progress is
+// superseded or moot.
+func (s *Store) DeleteCheckpoint(addr string) {
+	if validAddress(addr) {
+		os.Remove(s.CheckpointPath(addr))
+	}
 }
 
 // validAddress gates file names derived from externally supplied ids: the

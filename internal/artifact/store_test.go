@@ -1,0 +1,182 @@
+package artifact
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A published artifact truncated mid-file (the torn-write shape an
+// un-synced rename can leave after power loss) must fail Get with a
+// decode error, never return a wrong answer.
+func TestStoreTornWriteDetected(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact(t)
+	path, err := st.Put(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(data) / 2, len(data) - 1, 12} {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Get(a.Spec); err == nil {
+			t.Fatalf("Get succeeded on artifact truncated to %d of %d bytes", cut, len(data))
+		}
+	}
+}
+
+// Leftover temp files from a crashed Put must never satisfy lookups, and
+// a fresh Put over the same address must still succeed.
+func TestStoreIgnoresStrandedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact(t)
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"+Ext), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(a.Spec) {
+		t.Fatal("stranded temp file satisfied Has")
+	}
+	if _, err := st.Get(a.Spec); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get with only a temp file present = %v, want ErrNotFound", err)
+	}
+	if _, err := st.Put(a); err != nil {
+		t.Fatalf("Put alongside stranded temp: %v", err)
+	}
+	if got, err := st.Get(a.Spec); err != nil || !equalArtifacts(a, got) {
+		t.Fatalf("round trip after stranded temp: %v", err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := `{"random":"1000:0.5","seed":1,"stream":true,"shard":250}`
+	addr := Address(canonical)
+	rs := []byte(`{"version":1,"n":1000,"streamed":true,"shards":2,"next_start":500}`)
+
+	if _, _, err := st.GetCheckpoint(addr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing checkpoint = %v, want ErrNotFound", err)
+	}
+	if err := st.PutCheckpoint(canonical, rs); err != nil {
+		t.Fatal(err)
+	}
+	gotSpec, gotRS, err := st.GetCheckpoint(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec != canonical || string(gotRS) != string(rs) {
+		t.Fatalf("checkpoint round trip: spec=%q rs=%s", gotSpec, gotRS)
+	}
+
+	// A newer checkpoint replaces the old one.
+	rs2 := []byte(`{"version":1,"n":1000,"streamed":true,"shards":3,"next_start":750}`)
+	if err := st.PutCheckpoint(canonical, rs2); err != nil {
+		t.Fatal(err)
+	}
+	if _, gotRS, _ = st.GetCheckpoint(addr); string(gotRS) != string(rs2) {
+		t.Fatalf("checkpoint not replaced: %s", gotRS)
+	}
+
+	st.DeleteCheckpoint(addr)
+	if _, _, err := st.GetCheckpoint(addr); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete = %v, want ErrNotFound", err)
+	}
+	st.DeleteCheckpoint(addr) // deleting a missing checkpoint is a no-op
+}
+
+// A checkpoint and a finished artifact for the same job share an address
+// but live in different files; neither lookup sees the other.
+func TestCheckpointDoesNotAliasArtifact(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sampleArtifact(t)
+	if _, err := st.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCheckpoint(a.Spec, []byte(`{"version":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(a.Spec)
+	if err != nil || !equalArtifacts(a, got) {
+		t.Fatalf("artifact lookup disturbed by checkpoint: %v", err)
+	}
+	if _, rs, err := st.GetCheckpoint(Address(a.Spec)); err != nil || string(rs) != `{"version":1}` {
+		t.Fatalf("checkpoint lookup disturbed by artifact: %v", err)
+	}
+	st.DeleteCheckpoint(Address(a.Spec))
+	if _, err := st.Get(a.Spec); err != nil {
+		t.Fatalf("artifact vanished with its checkpoint: %v", err)
+	}
+}
+
+func TestCheckpointCorruptionIsAnError(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := `{"random":"1000:0.5","seed":1}`
+	addr := Address(canonical)
+	if err := st.PutCheckpoint(canonical, []byte(`{"version":1,"n":1000}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.CheckpointPath(addr)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the back half (payload, not header) — the section
+	// CRC must catch it.
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.GetCheckpoint(addr); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupted checkpoint = %v, want a decode error", err)
+	}
+
+	// A checkpoint renamed to a foreign address must be rejected too.
+	if err := st.PutCheckpoint(canonical, []byte(`{"version":1,"n":1000}`)); err != nil {
+		t.Fatal(err)
+	}
+	other := Address(`{"random":"2000:0.5","seed":9}`)
+	if err := os.Rename(path, st.CheckpointPath(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.GetCheckpoint(other); err == nil || !strings.Contains(err.Error(), "holds spec addressed") {
+		t.Fatalf("renamed checkpoint = %v, want address-mismatch error", err)
+	}
+}
+
+func TestPutCheckpointValidation(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCheckpoint("", []byte("x")); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if err := st.PutCheckpoint("{}", nil); err == nil {
+		t.Fatal("empty runstate accepted")
+	}
+	if _, _, err := st.GetCheckpoint("../escape"); err == nil {
+		t.Fatal("malformed address accepted")
+	}
+}

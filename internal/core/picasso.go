@@ -49,6 +49,10 @@ type Result struct {
 	FixedPairsTested int64
 	// Shards counts the completed stream units (0 for one-shot runs).
 	Shards int
+	// ResumedShards counts the stream units restored from a RunState
+	// checkpoint instead of being recolored (0 for fresh runs): the work a
+	// crash would otherwise have thrown away.
+	ResumedShards int
 	// PipelinedShards counts the stream units whose build stage actually
 	// overlapped a predecessor's coloring (0 when pipelining was off, fell
 	// back to sequential under the budget governor, or never got to overlap).

@@ -132,6 +132,7 @@ func streamRun(ctx context.Context, o graph.Oracle, opts *Options, prev graph.Co
 		e.fixedEnd, e.nextStart = st.NextStart, st.NextStart
 		e.shardIdx = st.Shards
 		e.res.Shards = st.Shards
+		e.res.ResumedShards = st.Shards
 		e.res.Fallback = st.Fallback
 		e.priorExceeded = st.BudgetExceeded // a violation is never silent, even across a resume
 	}

@@ -1,0 +1,120 @@
+// Package faultpoint is the injectable fault seam of the durability
+// stack: named hook points compiled into production code paths (journal
+// appends, artifact publication, checkpoint persistence, the coloring
+// worker) that are inert no-ops until a test — or a crash harness — arms
+// them. A hook may return an error (injected as that operation's failure),
+// panic (exercising the worker's panic isolation), or kill the process
+// (Crash), which is how the crash-recovery tests produce torn journal
+// tails and lost checkpoints on demand instead of waiting for real power
+// loss.
+//
+// The registry is safe for concurrent use (the coloring pool hits points
+// from many goroutines under -race); a disarmed point costs one read lock
+// and a map probe, and points are hit at lifecycle frequency (per state
+// transition, per shard), never per vertex.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Hook is one armed fault: called every time its point is hit, with the
+// hit ordinal (1-based) and the point-specific argument (a shard index, a
+// build count; 0 when the point carries none). A non-nil return is
+// injected as the operation's error.
+type Hook func(hit int, arg int) error
+
+var (
+	mu     sync.RWMutex
+	points map[string]*point
+)
+
+type point struct {
+	fn   Hook
+	hits int
+}
+
+// Set arms a fault point. Re-arming replaces the hook and resets the hit
+// counter.
+func Set(name string, fn Hook) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	points[name] = &point{fn: fn}
+}
+
+// Clear disarms one fault point.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Reset disarms every fault point — test cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+}
+
+// Armed reports whether a point has a hook installed, for call sites that
+// must do extra setup (e.g. wrap a builder) only when a fault is live.
+func Armed(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	_, ok := points[name]
+	return ok
+}
+
+// Hit fires a fault point: a no-op returning nil unless the point is
+// armed, in which case the hook runs with the incremented hit count and
+// arg, and its error (or panic) is the caller's to inject.
+func Hit(name string, arg int) error {
+	mu.RLock()
+	p := points[name]
+	mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	mu.Lock()
+	p.hits++
+	hit := p.hits
+	fn := p.fn
+	mu.Unlock()
+	return fn(hit, arg)
+}
+
+// FailOn returns a hook that injects err on exactly the k-th hit (1-based)
+// and passes every other hit — the "builder error on shard k" shape.
+func FailOn(k int, err error) Hook {
+	return func(hit, _ int) error {
+		if hit == k {
+			return err
+		}
+		return nil
+	}
+}
+
+// PanicOn returns a hook that panics with msg on exactly the k-th hit —
+// for exercising the worker pool's panic isolation.
+func PanicOn(k int, msg string) Hook {
+	return func(hit, _ int) error {
+		if hit == k {
+			panic(msg)
+		}
+		return nil
+	}
+}
+
+// Crash terminates the process immediately and non-gracefully (no deferred
+// functions, no flushes) — the in-process stand-in for kill -9, used by
+// hooks that simulate dying between two durability steps. The exit code
+// marks the death as deliberate for the harness driving it.
+func Crash(name string) {
+	fmt.Fprintf(os.Stderr, "faultpoint: crashing at %s\n", name)
+	os.Exit(42)
+}

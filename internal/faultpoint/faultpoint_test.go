@@ -1,0 +1,107 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed", 0); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+}
+
+func TestFailOnKthHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", FailOn(3, boom))
+	for i := 1; i <= 5; i++ {
+		err := Hit("p", i)
+		if i == 3 && !errors.Is(err, boom) {
+			t.Fatalf("hit %d: want boom, got %v", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d: want nil, got %v", i, err)
+		}
+	}
+}
+
+func TestSetResetsHitCounter(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", FailOn(1, boom))
+	if err := Hit("p", 0); !errors.Is(err, boom) {
+		t.Fatalf("first arm: want boom, got %v", err)
+	}
+	Set("p", FailOn(1, boom))
+	if err := Hit("p", 0); !errors.Is(err, boom) {
+		t.Fatalf("re-arm did not reset counter: got %v", err)
+	}
+}
+
+func TestClearAndArmed(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", FailOn(1, errors.New("x")))
+	if !Armed("p") {
+		t.Fatal("want Armed after Set")
+	}
+	Clear("p")
+	if Armed("p") {
+		t.Fatal("want disarmed after Clear")
+	}
+	if err := Hit("p", 0); err != nil {
+		t.Fatalf("cleared Hit returned %v", err)
+	}
+}
+
+func TestPanicOn(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", PanicOn(2, "injected"))
+	if err := Hit("p", 0); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	defer func() {
+		if rec := recover(); rec != "injected" {
+			t.Fatalf("want panic \"injected\", got %v", rec)
+		}
+	}()
+	Hit("p", 0)
+	t.Fatal("hit 2 did not panic")
+}
+
+// Concurrent hits against armed and disarmed points must be race-clean;
+// the ordinal passed to the hook must count every hit exactly once.
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	var seen sync.Map
+	Set("p", func(hit, _ int) error {
+		if _, dup := seen.LoadOrStore(hit, true); dup {
+			t.Errorf("ordinal %d delivered twice", hit)
+		}
+		return nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Hit("p", i)
+				Hit("disarmed", i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 1; i <= 800; i++ {
+		if _, ok := seen.Load(i); !ok {
+			t.Fatalf("ordinal %d never delivered", i)
+		}
+	}
+}

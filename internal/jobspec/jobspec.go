@@ -27,6 +27,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"picasso"
 	"picasso/internal/chem"
@@ -99,6 +100,16 @@ type Spec struct {
 	// recoloring their vertices below the shrinking ceiling, clawing back
 	// colors at streamed memory cost.
 	Refine *RefineSpec `json:"refine,omitempty"`
+	// Deadline is a wall-clock limit on the job measured from submission
+	// ("90s", "5m"); a run past it fails with "deadline exceeded". The clock
+	// is anchored to the original submit time, so a deadline stays honest
+	// across a server restart. Normalized to time.Duration's spelling.
+	Deadline string `json:"deadline,omitempty"`
+	// Retries bounds automatic re-runs after a transient worker failure
+	// (builder error, worker panic): up to this many extra attempts with
+	// exponential backoff, each resuming from the last checkpoint when the
+	// job streams. 0 = fail on the first error.
+	Retries int `json:"retries,omitempty"`
 }
 
 // RefineSpec parameterizes the post-coloring palette-refinement pass
@@ -282,7 +293,37 @@ func (s *Spec) Normalize() error {
 			return err
 		}
 	}
+	if s.Deadline != "" {
+		d, err := time.ParseDuration(s.Deadline)
+		if err != nil {
+			return fmt.Errorf("jobspec: bad deadline %q: %w", s.Deadline, err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("jobspec: deadline %q must be positive", s.Deadline)
+		}
+		s.Deadline = d.String() // canonical spelling: "90s" and "1m30s" are the same job
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("jobspec: negative retries %d", s.Retries)
+	}
+	if s.Retries > maxRetries {
+		return fmt.Errorf("jobspec: retries %d exceeds the cap of %d", s.Retries, maxRetries)
+	}
 	return nil
+}
+
+// maxRetries caps Spec.Retries: with exponential backoff, more attempts
+// than this means hours of futile re-running, not resilience.
+const maxRetries = 16
+
+// DeadlineDuration returns the parsed wall-clock deadline of a normalized
+// spec (0 = none).
+func (s Spec) DeadlineDuration() time.Duration {
+	if s.Deadline == "" {
+		return 0
+	}
+	d, _ := time.ParseDuration(s.Deadline)
+	return d
 }
 
 // Streamed reports whether the job runs on the partitioned streaming

@@ -3,6 +3,7 @@ package jobspec
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"picasso"
 )
@@ -46,6 +47,13 @@ func TestNormalizeTable(t *testing.T) {
 		{"refine negative target", Spec{Random: "100:0.5", Refine: &RefineSpec{TargetColors: -1}}, "negative refine target"},
 		{"refine bad budget", Spec{Random: "100:0.5", Refine: &RefineSpec{Budget: "lots"}}, "bad byte size"},
 		{"refine negative budget", Spec{Random: "100:0.5", Refine: &RefineSpec{Budget: "-1KiB"}}, "negative refine budget"},
+		{"deadline ok", Spec{Random: "100:0.5", Deadline: "90s"}, ""},
+		{"deadline garbage", Spec{Random: "100:0.5", Deadline: "soon"}, "bad deadline"},
+		{"deadline zero", Spec{Random: "100:0.5", Deadline: "0s"}, "must be positive"},
+		{"deadline negative", Spec{Random: "100:0.5", Deadline: "-5s"}, "must be positive"},
+		{"retries ok", Spec{Random: "100:0.5", Retries: 3}, ""},
+		{"retries negative", Spec{Random: "100:0.5", Retries: -1}, "negative retries"},
+		{"retries over cap", Spec{Random: "100:0.5", Retries: 17}, "exceeds the cap"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -262,5 +270,39 @@ func TestParseRandomCanonicalization(t *testing.T) {
 	}
 	if s.Random != "100:0.5" {
 		t.Fatalf("canonical random = %q", s.Random)
+	}
+}
+
+func TestDeadlineCanonicalization(t *testing.T) {
+	// "90s" and "1m30s" must be the same job: one canonical spelling.
+	a := Spec{Random: "100:0.5", Deadline: "90s"}
+	b := Spec{Random: "100:0.5", Deadline: "1m30s"}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ:\n  %s\n  %s", a.Canonical(), b.Canonical())
+	}
+	if d := a.DeadlineDuration(); d != 90*time.Second {
+		t.Fatalf("DeadlineDuration = %v, want 90s", d)
+	}
+	// Normalize must be idempotent on the canonical spelling.
+	before := a.Canonical()
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != before {
+		t.Fatalf("Normalize not idempotent: %s -> %s", before, a.Canonical())
+	}
+	var none Spec
+	none.Random = "100:0.5"
+	if err := none.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if none.DeadlineDuration() != 0 {
+		t.Fatal("zero spec should have no deadline")
 	}
 }

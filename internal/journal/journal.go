@@ -1,0 +1,332 @@
+// Package journal is the durable write-ahead log of the job lifecycle: an
+// append-only file of CRC-framed, fsync'd records, one per state
+// transition (accepted, running, checkpoint, retry, interrupted, done,
+// failed, cancelled), living next to the artifact store. The server
+// appends before a transition becomes observable and replays the journal
+// on startup to find jobs the previous process accepted but never
+// finished — those are re-enqueued and, when a RunState checkpoint
+// survived, resumed rather than recolored.
+//
+// Framing is length-prefixed JSON: u32 payload length, u32 CRC-32 (IEEE)
+// of the payload, then the payload bytes. A crash can tear only the final
+// record (appends are sequential and each is fsync'd before the next
+// starts), so replay stops at the first frame whose length overruns the
+// file or whose checksum mismatches, truncates the tail, and keeps every
+// record before it. Compaction (Rewrite) drops records for terminal jobs
+// by atomically replacing the file, bounding journal growth across
+// restarts.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"picasso/internal/faultpoint"
+)
+
+// Fault points hit by the journal, armed only by tests.
+const (
+	// FaultAppendBefore fires before a record is written: an injected
+	// error models a crash before the transition was made durable.
+	FaultAppendBefore = "journal.append.before"
+	// FaultAppendAfter fires after the record is written and synced: an
+	// injected error models a crash after durability but before the
+	// in-memory transition was observable.
+	FaultAppendAfter = "journal.append.after"
+)
+
+// Event names recorded in the journal. Terminal events end a job's
+// lifecycle; every other event marks it live and worth recovering.
+const (
+	EventAccepted    = "accepted"
+	EventRunning     = "running"
+	EventCheckpoint  = "checkpoint"
+	EventRetry       = "retry"
+	EventInterrupted = "interrupted"
+	EventDone        = "done"
+	EventFailed      = "failed"
+	EventCancelled   = "cancelled"
+)
+
+// Terminal reports whether an event ends a job's lifecycle.
+func Terminal(event string) bool {
+	switch event {
+	case EventDone, EventFailed, EventCancelled:
+		return true
+	}
+	return false
+}
+
+// Record is one journaled state transition. ID keys the job; Event is one
+// of the Event* names. Shard/Next carry checkpoint progress (shards
+// completed, next vertex to color), Attempt the retry ordinal, Note a
+// short human cause (an error message), and Data an opaque envelope the
+// server uses to reconstruct the job at recovery (spec, tenant, submit
+// time) — stored only on EventAccepted.
+type Record struct {
+	Seq     uint64          `json:"seq"`
+	Time    string          `json:"time,omitempty"`
+	ID      string          `json:"id"`
+	Event   string          `json:"event"`
+	Shard   int             `json:"shard,omitempty"`
+	Next    int             `json:"next,omitempty"`
+	Attempt int             `json:"attempt,omitempty"`
+	Note    string          `json:"note,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an open append-only journal file. Appends are not
+// goroutine-safe; the server serializes them under its own lock.
+type Journal struct {
+	path string
+	f    *os.File
+	seq  uint64
+}
+
+const (
+	headerLen = 8 // u32 length + u32 crc
+	// maxRecord caps a single frame; anything larger is treated as tail
+	// corruption rather than an attempt to allocate garbage lengths.
+	maxRecord = 16 << 20
+)
+
+// ErrCorrupt marks a journal whose damage extends beyond a torn final
+// record — a mid-file checksum mismatch. Open never returns it for a
+// clean torn tail; callers seeing it should move the file aside and start
+// fresh rather than trust any suffix.
+var ErrCorrupt = errors.New("journal: corrupt beyond torn tail")
+
+// Open opens (creating if needed) the journal at path, replays every
+// intact record, truncates a torn final record if the last append was
+// interrupted, and returns the journal positioned for appends. The
+// returned records are in append order with strictly increasing Seq.
+//
+// A torn tail — a final frame cut short by a crash — is expected damage
+// and silently healed. A checksum mismatch with more intact-looking data
+// after it is not distinguishable from mid-file corruption in general;
+// Open is conservative and still truncates from the first bad frame, but
+// reports ErrCorrupt alongside the surviving prefix when whole frames had
+// to be discarded, so the caller can decide to quarantine.
+func Open(path string) (*Journal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, good, dropped, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{path: path, f: f}
+	for _, r := range recs {
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	if dropped > 1 {
+		// More than one whole frame lost: beyond what a single torn
+		// append explains.
+		return j, recs, ErrCorrupt
+	}
+	return j, recs, nil
+}
+
+// replay reads intact records and returns them with the byte offset of
+// the end of the last good frame and how many damaged frames (partial or
+// checksum-failed) were encountered after it.
+func replay(f *os.File) (recs []Record, good int64, dropped int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, err
+	}
+	var hdr [headerLen]byte
+	for {
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return recs, good, dropped, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header.
+			return recs, good, dropped + 1, nil
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		_ = n
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecord {
+			return recs, good, dropped + 1, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, good, dropped + 1, nil
+			}
+			return nil, 0, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			// Bad checksum: scan forward to count how many further
+			// frames would have decoded, to distinguish a torn tail
+			// from mid-file damage. Either way nothing after this
+			// point is trusted.
+			dropped = 1 + countFrames(f)
+			return recs, good, dropped, nil
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			dropped = 1 + countFrames(f)
+			return recs, good, dropped, nil
+		}
+		recs = append(recs, r)
+		good += int64(headerLen) + int64(length)
+	}
+}
+
+// countFrames counts structurally intact, checksum-passing frames from
+// the current offset — used only to classify damage, never to recover
+// records past a bad frame.
+func countFrames(f *os.File) int {
+	var hdr [headerLen]byte
+	count := 0
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return count
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecord {
+			return count
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return count
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return count
+		}
+		count++
+	}
+}
+
+// Append assigns the next sequence number, frames and writes the record,
+// and fsyncs before returning — once Append returns nil the transition
+// survives a crash. On error the journal may hold a torn tail, which the
+// next Open heals.
+func (j *Journal) Append(r Record) error {
+	if err := faultpoint.Hit(FaultAppendBefore, int(j.seq)+1); err != nil {
+		return err
+	}
+	j.seq++
+	r.Seq = j.seq
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return faultpoint.Hit(FaultAppendAfter, int(j.seq))
+}
+
+// Rewrite atomically replaces the journal's contents with recs —
+// compaction after recovery has dropped terminal jobs. Sequence numbers
+// are reassigned from 1 in order; subsequent Appends continue after them.
+// The replacement is written to a temp file, synced, and renamed over the
+// journal with the parent directory synced, so a crash leaves either the
+// old journal or the new one, never a mix.
+func (j *Journal) Rewrite(recs []Record) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var seq uint64
+	for _, r := range recs {
+		seq++
+		r.Seq = seq
+		payload, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		var hdr [headerLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Reopen so the append handle points at the replacement file.
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.seq = seq
+	return nil
+}
+
+// Close closes the journal file. Appends after Close fail.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }

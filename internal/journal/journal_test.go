@@ -1,0 +1,249 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picasso/internal/faultpoint"
+)
+
+func openT(t *testing.T, path string) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{ID: "j1", Event: EventAccepted, Data: []byte(`{"spec":1}`)},
+		{ID: "j1", Event: EventRunning, Attempt: 1},
+		{ID: "j1", Event: EventCheckpoint, Shard: 2, Next: 1024},
+		{ID: "j2", Event: EventAccepted},
+		{ID: "j1", Event: EventDone},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	_, got := openT(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		w := want[i]
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.ID != w.ID || r.Event != w.Event || r.Shard != w.Shard || r.Next != w.Next || r.Attempt != w.Attempt {
+			t.Errorf("record %d: got %+v, want %+v", i, r, w)
+		}
+	}
+	if string(got[0].Data) != `{"spec":1}` {
+		t.Errorf("record 0 data = %s", got[0].Data)
+	}
+}
+
+func TestAppendContinuesSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, path)
+	j.Append(Record{ID: "a", Event: EventAccepted})
+	j.Close()
+	j2, recs := openT(t, path)
+	if err := j2.Append(Record{ID: "b", Event: EventAccepted}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, all := openT(t, path)
+	if len(all) != 2 || all[1].Seq != recs[0].Seq+1 {
+		t.Fatalf("sequence did not continue: %+v", all)
+	}
+}
+
+// A crash mid-append leaves a torn final record: replay must keep every
+// earlier record, truncate the tail, and accept new appends.
+func TestTornTailVariants(t *testing.T) {
+	tears := map[string]func(f *os.File){
+		"partial header": func(f *os.File) {
+			f.Write([]byte{0x10, 0x00})
+		},
+		"header only": func(f *os.File) {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 64)
+			binary.LittleEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+			f.Write(hdr[:])
+		},
+		"partial payload": func(f *os.File) {
+			payload := []byte(`{"seq":9,"id":"torn","event":"running"}`)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+			f.Write(hdr[:])
+			f.Write(payload[:10])
+		},
+		"bad checksum": func(f *os.File) {
+			payload := []byte(`{"seq":9,"id":"torn","event":"running"}`)
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+			binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload)+1)
+			f.Write(hdr[:])
+			f.Write(payload)
+		},
+		"absurd length": func(f *os.File) {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+			binary.LittleEndian.PutUint32(hdr[4:8], 0)
+			f.Write(hdr[:])
+			f.Write([]byte("xxxx"))
+		},
+	}
+	for name, tear := range tears {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal.wal")
+			j, _ := openT(t, path)
+			j.Append(Record{ID: "a", Event: EventAccepted})
+			j.Append(Record{ID: "a", Event: EventRunning})
+			j.Close()
+
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tear(f)
+			f.Close()
+
+			j2, recs, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open after tear: %v", err)
+			}
+			defer j2.Close()
+			if len(recs) != 2 {
+				t.Fatalf("replayed %d records after tear, want 2", len(recs))
+			}
+			if err := j2.Append(Record{ID: "a", Event: EventDone}); err != nil {
+				t.Fatalf("Append after heal: %v", err)
+			}
+			j2.Close()
+			_, all := openT(t, path)
+			if len(all) != 3 || all[2].Event != EventDone {
+				t.Fatalf("after heal+append: %+v", all)
+			}
+		})
+	}
+}
+
+// Damage in the middle of the file (intact frames after a bad one) is not
+// a torn tail: Open still salvages the prefix but reports ErrCorrupt.
+func TestMidFileCorruptionReported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, path)
+	j.Append(Record{ID: "a", Event: EventAccepted})
+	j.Append(Record{ID: "b", Event: EventAccepted})
+	j.Append(Record{ID: "c", Event: EventAccepted})
+	j.Append(Record{ID: "d", Event: EventAccepted})
+	j.Close()
+
+	// Flip a payload byte inside the second frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 8 + int(binary.LittleEndian.Uint32(data[0:4]))
+	data[first+8+4] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if j2 != nil {
+		j2.Close()
+	}
+	if len(recs) != 1 || recs[0].ID != "a" {
+		t.Fatalf("salvaged prefix = %+v, want the single record before the damage", recs)
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, path)
+	j.Append(Record{ID: "a", Event: EventAccepted})
+	j.Append(Record{ID: "a", Event: EventDone})
+	j.Append(Record{ID: "b", Event: EventAccepted})
+	if err := j.Rewrite([]Record{{ID: "b", Event: EventAccepted}}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	// Appends after a rewrite land in the replacement file.
+	if err := j.Append(Record{ID: "b", Event: EventRunning}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs := openT(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("after compaction: %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "b" || recs[0].Event != EventAccepted || recs[0].Seq != 1 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Event != EventRunning || recs[1].Seq != 2 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+}
+
+func TestFaultPointsInjectAppendErrors(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, path)
+
+	boom := errors.New("injected")
+	faultpoint.Set(FaultAppendBefore, faultpoint.FailOn(1, boom))
+	if err := j.Append(Record{ID: "a", Event: EventAccepted}); !errors.Is(err, boom) {
+		t.Fatalf("before-fault: want injected error, got %v", err)
+	}
+	faultpoint.Clear(FaultAppendBefore)
+
+	faultpoint.Set(FaultAppendAfter, faultpoint.FailOn(1, boom))
+	if err := j.Append(Record{ID: "a", Event: EventAccepted}); !errors.Is(err, boom) {
+		t.Fatalf("after-fault: want injected error, got %v", err)
+	}
+	faultpoint.Clear(FaultAppendAfter)
+	j.Close()
+
+	// The before-fault append wrote nothing; the after-fault one is
+	// durable despite the surfaced error.
+	_, recs := openT(t, path)
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 (after-fault record durable)", len(recs))
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for _, e := range []string{EventDone, EventFailed, EventCancelled} {
+		if !Terminal(e) {
+			t.Errorf("Terminal(%s) = false", e)
+		}
+	}
+	for _, e := range []string{EventAccepted, EventRunning, EventCheckpoint, EventRetry, EventInterrupted} {
+		if Terminal(e) {
+			t.Errorf("Terminal(%s) = true", e)
+		}
+	}
+}

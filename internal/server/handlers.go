@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"picasso"
@@ -33,8 +34,9 @@ func (s *Server) routes() {
 }
 
 // handleSubmit accepts a jobspec.Spec body: 202 for newly queued work, 200
-// when the spec deduplicated onto an existing job, 503 when the queue is
-// full or the server is draining.
+// when the spec deduplicated onto an existing job, 429 for backpressure
+// (full queue, or the X-Tenant header's quota), 503 when the server is
+// draining — the rejections carry a typed code and an honest Retry-After.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec jobspec.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -61,21 +63,31 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, hit, err := s.Submit(spec)
+	job, hit, err := s.SubmitTenant(spec, r.Header.Get("X-Tenant"))
 	s.respondSubmit(w, job, hit, err)
 }
 
-// respondSubmit writes the shared submission response: 503 + Retry-After
-// for a full or draining queue, 202 for newly queued work, 200 for a dedup
-// cache hit.
+// respondSubmit writes the shared submission response: typed backpressure
+// rejections with an honest Retry-After (429 "queue_full"/"tenant_quota",
+// 503 "draining"), 202 for newly queued work, 200 for a dedup cache hit.
 func (s *Server) respondSubmit(w http.ResponseWriter, job *Job, hit bool, err error) {
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
+		retryAfter := func() {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
-		writeError(w, http.StatusInternalServerError, err.Error())
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			retryAfter()
+			writeErrorCode(w, http.StatusTooManyRequests, ErrCodeQueueFull, err.Error())
+		case errors.Is(err, ErrTenantQuota):
+			retryAfter()
+			writeErrorCode(w, http.StatusTooManyRequests, ErrCodeTenantQuota, err.Error())
+		case errors.Is(err, ErrClosed):
+			retryAfter()
+			writeErrorCode(w, http.StatusServiceUnavailable, ErrCodeDraining, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	s.mu.Lock()
@@ -255,6 +267,9 @@ func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, GroupsResponse{ID: id, NumGroups: len(groups), Groups: groups})
 	case StateFailed:
 		writeError(w, http.StatusConflict, fmt.Sprintf("job failed: %s", errMsg))
+	case StateInterrupted:
+		writeError(w, http.StatusConflict,
+			"job was interrupted by shutdown; it resumes when a server restarts on the same artifact dir")
 	default:
 		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll /v1/jobs/%s until done", state, id))
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"picasso"
 	"picasso/internal/artifact"
 	"picasso/internal/jobspec"
 )
@@ -26,6 +27,22 @@ type Job struct {
 	Result      *ResultSummary
 	Groups      [][]int
 	Err         string
+
+	// Tenant is the quota bucket the job is charged against ("" = none);
+	// tenantHeld tracks whether the charge is outstanding, so the terminal
+	// transition releases it exactly once.
+	Tenant     string
+	tenantHeld bool
+
+	// Attempts counts coloring attempts: 1 on the first run, +1 per retry.
+	// Recovery seeds it from the journal, so a job's total attempt budget
+	// spans process restarts.
+	Attempts int
+
+	// Resume, when non-nil, is the RunState checkpoint the next attempt of
+	// a plain streamed job continues from — set by every persisted shard
+	// checkpoint and by journal recovery.
+	Resume *picasso.RunState
 
 	// Append, when non-nil, makes this an append job: the new strings are
 	// colored against the frozen parent grouping (snapshotted here at
@@ -170,6 +187,7 @@ func (s *Server) statusLocked(j *Job) StatusResponse {
 	if j.Refine != nil {
 		st.RefineOf = j.Refine.ParentID
 	}
+	st.Attempts = j.Attempts
 	if !j.StartedAt.IsZero() {
 		st.StartedAt = j.StartedAt.UTC().Format(time.RFC3339Nano)
 	}

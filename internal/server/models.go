@@ -9,6 +9,11 @@ const (
 	StateDone      = "done"
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
+	// StateInterrupted marks a job cut short by a graceful drain: terminal
+	// in this process, but its journal record stays live, so the next
+	// process on the same artifact dir re-enqueues it (resuming streamed
+	// runs from their last checkpoint).
+	StateInterrupted = "interrupted"
 )
 
 // SubmitResponse answers POST /v1/jobs. CacheHit reports that the canonical
@@ -60,6 +65,7 @@ type ResultSummary struct {
 	BudgetExceeded     bool    `json:"budget_exceeded,omitempty"`
 	ColorsBefore       int     `json:"colors_before,omitempty"`
 	RefineRounds       int     `json:"refine_rounds,omitempty"`
+	ResumedShards      int     `json:"resumed_shards,omitempty"`
 	ElapsedMS          float64 `json:"elapsed_ms"`
 }
 
@@ -89,6 +95,7 @@ type StatusResponse struct {
 	AppendTo    string         `json:"append_to,omitempty"`    // parent id for append jobs
 	AppendCount int            `json:"append_count,omitempty"` // strings appended
 	RefineOf    string         `json:"refine_of,omitempty"`    // parent id for refine jobs
+	Attempts    int            `json:"attempts,omitempty"`     // coloring attempts, >1 after retries
 	Progress    *ProgressInfo  `json:"progress,omitempty"`
 	Result      *ResultSummary `json:"result,omitempty"`
 	Error       string         `json:"error,omitempty"`
@@ -106,7 +113,11 @@ type GroupsResponse struct {
 // The three artifact counters report the disk tier: disk_hits are
 // submissions answered from a persisted artifact without recoloring,
 // artifact_loads are prepped slabs reused instead of re-parsing, and
-// artifact_writes are finished jobs persisted.
+// artifact_writes are finished jobs persisted. The recovery counters
+// report the journal replay at startup: resumed jobs continued a streamed
+// run from its persisted checkpoint, restarted jobs had begun but left no
+// usable checkpoint, and interrupted counts jobs cut short by a drain in
+// THIS process (they become the next process's resumed/restarted).
 type StatsResponse struct {
 	Submitted      int64 `json:"submitted"`
 	CacheHits      int64 `json:"cache_hits"`
@@ -118,6 +129,10 @@ type StatsResponse struct {
 	Cancelled      int64 `json:"cancelled"`
 	Rejected       int64 `json:"rejected"`
 	Evicted        int64 `json:"evicted"`
+	Resumed        int64 `json:"resumed"`
+	Restarted      int64 `json:"restarted"`
+	Retried        int64 `json:"retried"`
+	Interrupted    int64 `json:"interrupted"`
 	Queued         int   `json:"queued"`
 	Running        int   `json:"running"`
 	Retained       int   `json:"retained"`
@@ -141,4 +156,9 @@ const (
 	ErrCodeUnknownJob     = "unknown_job"
 	ErrCodeParentNotDone  = "parent_not_done"
 	ErrCodeParentNotPauli = "parent_not_pauli"
+	// Backpressure codes on 429/503 rejections; the response carries an
+	// honest Retry-After derived from queue depth and observed job times.
+	ErrCodeQueueFull   = "queue_full"   // bounded job queue at capacity
+	ErrCodeTenantQuota = "tenant_quota" // per-tenant active-job quota hit
+	ErrCodeDraining    = "draining"     // server shutting down
 )

@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"picasso"
+	"picasso/internal/backend"
+	"picasso/internal/faultpoint"
+	"picasso/internal/journal"
 )
 
 // worker is one member of the bounded coloring pool: it drains the job
@@ -22,12 +25,15 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one job end to end, with panic isolation — a panicking
-// coloring run fails that job, not the worker. (The arena stays reusable
-// after a panic: every acquisition re-slices its buffer from scratch.)
-// Jobs cancelled while queued are skipped (already terminal); jobs
-// cancelled while running are observed by the engine at its next stage
-// boundary and land in the "cancelled" state here.
+// run executes one job end to end: attempt, retry transient failures with
+// exponential backoff up to the spec's budget, classify the outcome, and
+// journal the terminal transition before it becomes observable. Panic
+// isolation lives in attempt — a panicking coloring run fails (or retries)
+// that job, never the worker. Jobs cancelled while queued are skipped
+// (already terminal); jobs cancelled while running are observed by the
+// engine at its next stage boundary. A drain's cancellation lands in the
+// "interrupted" state instead, which stays live in the journal so the next
+// process resumes it.
 func (s *Server) run(job *Job, arena *picasso.Arena) {
 	s.mu.Lock()
 	if job.State != StateQueued {
@@ -37,18 +43,28 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 	}
 	job.State = StateRunning
 	job.StartedAt = time.Now()
+	job.Attempts++
+	attempt := job.Attempts
 	s.running++
 	s.mu.Unlock()
+	s.journalAppend(journal.Record{ID: job.ID, Event: journal.EventRunning, Attempt: attempt})
 
 	t0 := time.Now()
-	summary, groups, set, err := func() (sum *ResultSummary, groups [][]int, set *picasso.PauliSet, err error) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				err = fmt.Errorf("panic: %v", rec)
-			}
-		}()
-		return s.color(job, arena)
-	}()
+	summary, groups, set, err := s.attempt(job, arena, attempt)
+	for s.retryable(job, err) {
+		s.mu.Lock()
+		job.Attempts++
+		attempt = job.Attempts
+		s.stats.retried++
+		s.mu.Unlock()
+		s.journalAppend(journal.Record{ID: job.ID, Event: journal.EventRetry,
+			Attempt: attempt, Note: err.Error()})
+		if werr := s.backoff(job, attempt); werr != nil {
+			err = werr // cancelled or deadlined mid-backoff: classify that, not the stale error
+			break
+		}
+		summary, groups, set, err = s.attempt(job, arena, attempt)
+	}
 	elapsed := time.Since(t0)
 
 	finished := time.Now()
@@ -61,25 +77,72 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 	}
 
 	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	state, event, errMsg := StateDone, journal.EventDone, ""
+	switch {
+	case errors.Is(err, context.Canceled) && draining:
+		state, event, errMsg = StateInterrupted, journal.EventInterrupted, "interrupted by shutdown"
+	case errors.Is(err, context.Canceled):
+		state, event, errMsg = StateCancelled, journal.EventCancelled, "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		state, event, errMsg = StateFailed, journal.EventFailed, "deadline exceeded"
+	case err != nil:
+		state, event, errMsg = StateFailed, journal.EventFailed, err.Error()
+	}
+
+	// The journal learns the outcome before any client can: a crash between
+	// the append and the in-memory transition merely re-runs dedup against
+	// the persisted artifact at recovery. Interrupted jobs keep their
+	// checkpoint sidecar — it is exactly what the next process resumes from.
+	s.journalAppend(journal.Record{ID: job.ID, Event: event, Attempt: attempt, Note: errMsg})
+	if state != StateInterrupted && s.store != nil {
+		s.store.DeleteCheckpoint(job.ID)
+	}
+
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
 	job.FinishedAt = finished
-	switch {
-	case errors.Is(err, context.Canceled):
-		job.State = StateCancelled
-		job.Err = "cancelled"
+	job.State = state
+	job.Err = errMsg
+	switch state {
+	case StateCancelled:
 		s.stats.cancelled++
-	case err != nil:
-		job.State = StateFailed
-		job.Err = err.Error()
+	case StateInterrupted:
+		s.stats.interrupted++
+	case StateFailed:
 		s.stats.failed++
 	default:
-		job.State = StateDone
 		job.Result = summary
 		job.Groups = groups
 		s.stats.completed++
+		ms := float64(elapsed) / float64(time.Millisecond)
+		if s.avgRunMS == 0 {
+			s.avgRunMS = ms
+		} else {
+			s.avgRunMS = 0.7*s.avgRunMS + 0.3*ms
+		}
 	}
+	s.releaseTenantLocked(job)
 	s.retain(job)
+}
+
+// attempt is one isolated coloring attempt: the FaultWorkerColor seam
+// fires first (with the attempt ordinal), and a panic anywhere below —
+// injected or real — converts to an error for run's retry classification.
+// (The arena stays reusable after a panic: every acquisition re-slices its
+// buffer from scratch.)
+func (s *Server) attempt(job *Job, arena *picasso.Arena, attempt int) (sum *ResultSummary, groups [][]int, set *picasso.PauliSet, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("panic: %v", rec)
+		}
+	}()
+	if ferr := faultpoint.Hit(FaultWorkerColor, attempt); ferr != nil {
+		return nil, nil, nil, ferr
+	}
+	return s.color(job, arena)
 }
 
 // color materializes the job's input and runs the coloring, streaming
@@ -116,6 +179,7 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		job.Progress.PairsTested += st.PairsTested
 		s.mu.Unlock()
 	}
+	progressed := false
 	opts.Checkpoint = func(st picasso.RunState) {
 		if !st.Resumable() {
 			return
@@ -123,7 +187,17 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		s.mu.Lock()
 		job.Progress.Shards = st.Shards
 		job.Progress.ColoredVertices = st.NextStart
+		progressed = true
 		s.mu.Unlock()
+		s.persistCheckpoint(job, st)
+	}
+	// An armed builder fault point wraps the job's real builder so the
+	// injected error surfaces exactly where a device or allocator failure
+	// would — inside the k-th conflict-subgraph build.
+	if faultpoint.Armed(FaultBuilderBuild) {
+		if inner, berr := backend.New(opts.Backend, backend.Config{Workers: opts.Workers}); berr == nil {
+			opts.Builder = &faultBuilder{inner: inner}
+		}
 	}
 
 	if job.Append != nil {
@@ -133,6 +207,16 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 		return s.colorRefine(job, opts)
 	}
 
+	// A checkpoint from an earlier attempt (or the previous process) turns
+	// this streamed run into a resume: the already-colored prefix is
+	// restored instead of recolored.
+	var resume *picasso.RunState
+	if job.Spec.Streamed() {
+		s.mu.Lock()
+		resume = job.Resume
+		s.mu.Unlock()
+	}
+
 	oracle, set, err := s.buildInput(job)
 	if err != nil {
 		return nil, nil, nil, err
@@ -140,15 +224,38 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 	var res *picasso.Result
 	switch {
 	case set != nil && job.Spec.Streamed():
-		res, err = picasso.StreamPauli(job.ctx, set, opts)
+		if resume != nil {
+			res, err = picasso.ResumeStreamPauli(job.ctx, set, opts, resume)
+		} else {
+			res, err = picasso.StreamPauli(job.ctx, set, opts)
+		}
 	case set != nil:
 		res, err = picasso.ColorPauliContext(job.ctx, set, opts)
 	case job.Spec.Streamed():
-		res, err = picasso.Stream(job.ctx, oracle, opts)
+		if resume != nil {
+			res, err = picasso.ResumeStream(job.ctx, oracle, opts, resume)
+		} else {
+			res, err = picasso.Stream(job.ctx, oracle, opts)
+		}
 	default:
 		res, err = picasso.ColorContext(job.ctx, oracle, opts)
 	}
 	if err != nil {
+		// A checkpoint the engine rejects outright (corrupt, or stale
+		// against a changed spec) must not wedge the job: if the resumed
+		// run made no progress and the job is still live, drop the
+		// checkpoint and recolor from scratch within this same attempt.
+		if resume != nil && job.ctx.Err() == nil {
+			s.mu.Lock()
+			fresh := !progressed
+			if fresh {
+				job.Resume = nil
+			}
+			s.mu.Unlock()
+			if fresh {
+				return s.color(job, arena)
+			}
+		}
 		return nil, nil, nil, err
 	}
 
@@ -363,5 +470,6 @@ func summarize(res *picasso.Result, groups [][]int) *ResultSummary {
 		RepairRecolors:     res.RepairRecolors,
 		PeakBytes:          res.HostPeakBytes,
 		BudgetExceeded:     res.BudgetExceeded,
+		ResumedShards:      res.ResumedShards,
 	}
 }

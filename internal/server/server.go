@@ -23,10 +23,11 @@ package server
 
 import (
 	"container/list"
-	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"picasso/internal/artifact"
 	"picasso/internal/backend"
 	"picasso/internal/jobspec"
+	"picasso/internal/journal"
 )
 
 // Config sizes the service.
@@ -72,7 +74,19 @@ type Config struct {
 	// persisted as content-addressed artifacts there (surviving restarts),
 	// resubmissions rehydrate from disk without recoloring, prepped slabs
 	// skip re-parsing, and child jobs resolve absent parents from disk.
+	// It also arms the job journal: accepted-but-unfinished jobs survive a
+	// crash and are re-enqueued (streamed runs resume from their last shard
+	// checkpoint) when the next process opens the same directory.
 	ArtifactDir string
+	// TenantQuota bounds the active (queued + running) jobs per tenant, as
+	// named by the X-Tenant request header; past it, that tenant's plain
+	// submissions are rejected with 429 "tenant_quota" until its jobs
+	// finish (0 = unlimited).
+	TenantQuota int
+	// RetryBackoff is the base delay before the first retry of a job with
+	// a retry budget; each further retry doubles it, capped at 30s
+	// (0 = 250ms).
+	RetryBackoff time.Duration
 }
 
 func (c *Config) fill() error {
@@ -90,6 +104,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxVertices <= 0 {
 		c.MaxVertices = 1 << 20
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
 	}
 	if c.DefaultBackend != "" && c.DefaultBackend != "auto" {
 		// Probe the registry with the service's (device-less) resources:
@@ -115,10 +132,13 @@ func servableBackend(name string) error {
 	return err
 }
 
-// Submission failure modes, surfaced to handlers as 503s.
+// Submission failure modes, surfaced to handlers as backpressure
+// rejections (429 with a typed code for the first two, 503 for a closing
+// server) carrying an honest Retry-After.
 var (
-	ErrQueueFull = errors.New("server: job queue full")
-	ErrClosed    = errors.New("server: shutting down")
+	ErrQueueFull   = errors.New("server: job queue full")
+	ErrTenantQuota = errors.New("server: tenant active-job quota reached")
+	ErrClosed      = errors.New("server: shutting down")
 )
 
 // Cancellation failure modes, surfaced to handlers as 404/409.
@@ -136,15 +156,25 @@ type Server struct {
 	wg    sync.WaitGroup
 	store *artifact.Store // disk tier, nil when ArtifactDir is unset
 
+	// journal is the durable job log next to the artifacts (nil without
+	// ArtifactDir); jmu serializes its fsync'd appends separately from mu,
+	// so the job table never waits on disk.
+	jmu     sync.Mutex
+	journal *journal.Journal
+
 	mu         sync.Mutex
 	closed     bool
+	draining   bool // closed via Drain: interrupted jobs stay live in the journal
 	jobs       map[string]*Job
 	done       *list.List // finished jobs, most recently used at the front
 	cacheBytes int64      // approximate bytes pinned by the done LRU
 	running    int
+	tenants    map[string]int // active (queued+running) jobs per tenant
+	avgRunMS   float64        // EWMA of completed-job wall time, feeds Retry-After
 	stats      struct {
 		submitted, cacheHits, completed, failed, cancelled, rejected, evicted int64
 		diskHits, artifactLoads, artifactWrites                               int64
+		resumed, restarted, retried, interrupted                              int64
 	}
 }
 
@@ -167,6 +197,20 @@ func New(cfg Config) (*Server, error) {
 		s.store = store
 	}
 	s.routes()
+	// The journal opens — and its survivors re-enqueue — before the worker
+	// pool starts, so recovered jobs land in the buffered queue unobserved
+	// and run in their original acceptance order. A torn final record is
+	// healed silently; deeper corruption still yields the salvaged prefix
+	// (recovery degrades to restart-from-scratch for the lost jobs' work,
+	// never refuses to start).
+	if cfg.ArtifactDir != "" {
+		jnl, recs, err := journal.Open(filepath.Join(cfg.ArtifactDir, journalFileName))
+		if err != nil && !errors.Is(err, journal.ErrCorrupt) {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.journal = jnl
+		s.recoverJournal(recs)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -181,28 +225,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close stops accepting jobs and waits for in-flight work to finish.
 // Queued-but-unstarted jobs are still run — a closed queue channel drains.
+// For a shutdown that checkpoints instead of finishing, see Drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.closeJournal()
 		return
 	}
 	s.closed = true
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closeJournal()
 }
 
 // Submit registers a job for an already-normalized spec and enqueues it if
 // it is new. The bool reports a cache hit: the spec matched an existing
 // queued, running, or finished job, and no new work was created.
 func (s *Server) Submit(spec jobspec.Spec) (*Job, bool, error) {
+	return s.SubmitTenant(spec, "")
+}
+
+// SubmitTenant is Submit with a tenant-quota bucket: when Config.TenantQuota
+// is set and the named tenant already has that many active jobs, the
+// submission is rejected with ErrTenantQuota (cache hits are always served —
+// dedup does not create work, so it cannot exhaust a quota).
+func (s *Server) SubmitTenant(spec jobspec.Spec, tenant string) (*Job, bool, error) {
 	canonical := spec.Canonical()
 	return s.enqueue(&Job{
 		ID:        JobID(canonical),
 		Spec:      spec,
 		Canonical: canonical,
+		Tenant:    tenant,
 	})
 }
 
@@ -323,30 +379,48 @@ func (s *Server) enqueue(j *Job) (*Job, bool, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if existing, ok := s.jobs[j.ID]; ok {
 		// Raced with another submitter between the two critical sections.
 		existing.Hits++
 		s.stats.cacheHits++
 		s.touch(existing)
+		s.mu.Unlock()
 		return existing, true, nil
 	}
 	if s.closed {
 		s.stats.rejected++
+		s.mu.Unlock()
 		return nil, false, ErrClosed
+	}
+	if q := s.cfg.TenantQuota; q > 0 && j.Tenant != "" && s.tenants[j.Tenant] >= q {
+		s.stats.rejected++
+		s.mu.Unlock()
+		return nil, false, ErrTenantQuota
 	}
 	j.State = StateQueued
 	j.Hits = 1
 	j.SubmittedAt = time.Now()
-	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.ctx, j.cancel = jobContext(j.SubmittedAt, j.Spec.DeadlineDuration())
 	select {
 	case s.queue <- j:
 		s.jobs[j.ID] = j
-		return j, false, nil
+		s.holdTenantLocked(j)
 	default:
 		s.stats.rejected++
+		s.mu.Unlock()
 		return nil, false, ErrQueueFull
 	}
+	s.mu.Unlock()
+
+	// The accepted record is journaled after the queue push and outside mu
+	// (it fsyncs): a crash in the gap loses only a job whose 202 the client
+	// may not have seen, and replay tolerates a worker journaling "running"
+	// first, so the ordering is safe.
+	data, err := json.Marshal(envelope(j))
+	if err == nil {
+		s.journalAppend(journal.Record{ID: j.ID, Event: journal.EventAccepted, Data: data})
+	}
+	return j, false, nil
 }
 
 // Cancel stops a job: a queued job transitions to "cancelled" immediately
@@ -356,9 +430,9 @@ func (s *Server) enqueue(j *Job) (*Job, bool, error) {
 // engine winds down). Finished jobs return ErrJobFinished.
 func (s *Server) Cancel(id string) (string, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return "", ErrUnknownJob
 	}
 	switch j.State {
@@ -367,13 +441,22 @@ func (s *Server) Cancel(id string) (string, error) {
 		j.State = StateCancelled
 		j.FinishedAt = time.Now()
 		s.stats.cancelled++
+		s.releaseTenantLocked(j)
 		s.retain(j)
+		s.mu.Unlock()
+		s.journalAppend(journal.Record{ID: id, Event: journal.EventCancelled})
+		if s.store != nil {
+			s.store.DeleteCheckpoint(id)
+		}
 		return StateCancelled, nil
 	case StateRunning:
-		j.cancel() // the run loop finishes the transition
+		j.cancel() // the run loop finishes the transition (and journals it)
+		s.mu.Unlock()
 		return StateRunning, nil
 	default:
-		return j.State, ErrJobFinished
+		st := j.State
+		s.mu.Unlock()
+		return st, ErrJobFinished
 	}
 }
 
@@ -409,6 +492,10 @@ func (s *Server) Stats() StatsResponse {
 		Cancelled:      s.stats.cancelled,
 		Rejected:       s.stats.rejected,
 		Evicted:        s.stats.evicted,
+		Resumed:        s.stats.resumed,
+		Restarted:      s.stats.restarted,
+		Retried:        s.stats.retried,
+		Interrupted:    s.stats.interrupted,
 		Queued:         queued,
 		Running:        s.running,
 		Retained:       s.done.Len(),

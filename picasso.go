@@ -205,6 +205,15 @@ func ResumeStream(ctx context.Context, o Oracle, opts Options, st *RunState) (*R
 	return core.ResumeStream(ctx, o, opts, st)
 }
 
+// ResumeStreamPauli is ResumeStream over a Pauli-string set's commutation
+// graph: the crash-recovery path for streamed grouping runs, continuing
+// from a persisted shard-boundary checkpoint instead of regrouping from
+// scratch. Result.ResumedShards reports how many shards the checkpoint
+// carried over.
+func ResumeStreamPauli(ctx context.Context, set *PauliSet, opts Options, st *RunState) (*Result, error) {
+	return core.ResumeStream(ctx, core.NewPauliOracle(set), opts, st)
+}
+
 // Refine improves a finished proper coloring by iteratively eliminating its
 // smallest color classes: each round dissolves the highest-numbered classes
 // and recolors their vertices into the surviving palette against the frozen
