@@ -481,3 +481,60 @@ func BenchmarkStreamPipelined(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPortfolio races 1 vs 4 vs 8 entrants on the same instance under
+// one shared memory budget and reports the color count the race settles on
+// plus the wall time until the winning bound was published. The 1-entrant
+// row is the plain streamed run — the baseline every wider portfolio must
+// beat. Refinement is disabled so rows compare raw racing quality.
+func BenchmarkPortfolio(b *testing.B) {
+	const n = 10000
+	o := picasso.RandomGraph(n, 0.5, 11)
+	base := func() picasso.Options {
+		opts := picasso.Normal(3)
+		opts.MemoryBudgetBytes = 64 << 20
+		return opts
+	}
+
+	b.Run("entrants=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var tr picasso.MemoryTracker
+			opts := base()
+			opts.Tracker = &tr
+			res, err := picasso.Stream(context.Background(), o, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				if err := picasso.Verify(o, res.Colors); err != nil {
+					b.Fatalf("coloring not proper: %v", err)
+				}
+				b.ReportMetric(float64(res.NumColors), "colors")
+				b.ReportMetric(float64(tr.Peak()), "peak-B")
+			}
+		}
+	})
+	for _, entrants := range []int{4, 8} {
+		b.Run(fmt.Sprintf("entrants=%d", entrants), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var tr picasso.MemoryTracker
+				opts := base()
+				opts.Tracker = &tr
+				pres, err := picasso.Portfolio(context.Background(), o, opts,
+					picasso.PortfolioOptions{Entrants: entrants, NoRefine: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if err := picasso.Verify(o, pres.FinalColors()); err != nil {
+						b.Fatalf("coloring not proper: %v", err)
+					}
+					b.ReportMetric(float64(pres.Result.NumColors), "colors")
+					b.ReportMetric(float64(pres.TimeToBest.Milliseconds()), "time-to-best-ms")
+					b.ReportMetric(float64(pres.CancelledEntrants), "cancelled")
+					b.ReportMetric(float64(tr.Peak()), "peak-B")
+				}
+			}
+		})
+	}
+}

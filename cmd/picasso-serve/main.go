@@ -55,6 +55,8 @@ func main() {
 		budget     = flag.String("budget", "", "default per-job host-memory budget for specs without one, e.g. 512MiB")
 		pipeline   = flag.Bool("pipeline", false, "pipeline streamed jobs that set neither pipeline nor speculate")
 		speculate  = flag.Int("speculate", 0, "speculative lanes for streamed jobs that set neither knob (>=2)")
+		raceN      = flag.Int("race-entrants", 0, "race streamed jobs without a portfolio block as a portfolio of this many entrants (>=2)")
+		maxRace    = flag.Int("max-race-entrants", 0, "reject portfolio specs wider than this (0 = library cap)")
 		artDir     = flag.String("artifact-dir", "", "persist finished jobs as .pic artifacts here; the result cache gains a disk tier that survives restarts and a job journal that resumes interrupted work")
 		tenantQ    = flag.Int("tenant-quota", 0, "max active jobs per X-Tenant header value; past it submissions get 429 tenant_quota (0 = unlimited)")
 	)
@@ -81,6 +83,8 @@ func main() {
 		DefaultBudgetBytes: budgetB,
 		DefaultPipeline:    *pipeline,
 		DefaultSpeculate:   *speculate,
+		DefaultEntrants:    *raceN,
+		MaxEntrants:        *maxRace,
 		ArtifactDir:        *artDir,
 		TenantQuota:        *tenantQ,
 	})

@@ -15,6 +15,7 @@
 //	picasso -random 200000:0.5 -budget 256MiB -verify   (streamed under a budget)
 //	picasso -strings paulis.txt -stream -shard 50000
 //	picasso -random 20000:0.5 -budget 16MiB -refine     (stream, then claw colors back)
+//	picasso -random 20000:0.5 -budget 64MiB -race-entrants 8   (portfolio race, keep the winner)
 //	picasso -molecule "H6 3D sto3g" -refine-target 300  (refine toward a group count)
 //
 // With -artifact-dir, finished runs are persisted as content-addressed .pic
@@ -67,6 +68,7 @@ func main() {
 		budget   = flag.String("budget", "", "host-memory budget, e.g. 512MiB or 2GB (implies -stream)")
 		pipeline = flag.Bool("pipeline", false, "overlap each shard's build with its predecessor's coloring (implies -stream)")
 		specul   = flag.Int("speculate", 0, "color this many shards concurrently with cross-shard repair (>=2; implies -stream)")
+		raceN    = flag.Int("race-entrants", 0, "race this many entrant configurations (seed/strategy/shard/schedule variants) and keep the fewest-color winner (>=2; implies -stream)")
 		deadline = flag.String("deadline", "", "wall-clock limit on the run, e.g. 90s or 5m (empty = none)")
 		refine   = flag.Bool("refine", false, "run the palette-refinement pass after coloring (claw back colors)")
 		refineR  = flag.Int("refine-rounds", 0, "max refinement rounds (0 = engine default; implies -refine)")
@@ -99,6 +101,10 @@ func main() {
 	}
 	if *mode != jobspec.ModeCustom {
 		spec.PFrac, spec.Alpha = 0, 0
+	}
+	if *raceN != 0 {
+		// != 0, not >= 2: a bad value must reach Normalize's validation.
+		spec.Portfolio = &jobspec.PortfolioSpec{Entrants: *raceN}
 	}
 	if *refine || *refineR != 0 || *refineT != 0 {
 		// != 0, not > 0: a negative value must reach Normalize's validation
@@ -192,7 +198,24 @@ func main() {
 
 	t0 := time.Now()
 	var res *picasso.Result
+	var pres *picasso.PortfolioResult
 	switch {
+	case spec.PortfolioEntrants() >= 2:
+		popts := picasso.PortfolioOptions{Entrants: spec.PortfolioEntrants()}
+		if ropts, ok := spec.RefineOptions(); ok {
+			popts.Refine = ropts
+			popts.RefineBudgetBytes = spec.RefineBudgetBytes()
+		} else {
+			popts.NoRefine = true
+		}
+		if set != nil {
+			pres, err = picasso.PortfolioPauli(ctx, set, opts, popts)
+		} else {
+			pres, err = picasso.Portfolio(ctx, oracle, opts, popts)
+		}
+		if pres != nil {
+			res = pres.Result
+		}
 	case set != nil && spec.Streamed():
 		res, err = picasso.StreamPauli(ctx, set, opts)
 	case set != nil:
@@ -250,24 +273,47 @@ func main() {
 		}
 	}
 
+	if pres != nil {
+		fmt.Printf("portfolio: %d entrants, winner %d with %d colors (bound %d), %d cancelled early, %d candidate slots pruned, time-to-best %v\n",
+			len(pres.Entrants), pres.Winner, pres.Result.NumColors, pres.Bound,
+			pres.CancelledEntrants, pres.BoundPrunes, pres.TimeToBest.Round(time.Millisecond))
+		for _, e := range pres.Entrants {
+			outcome := fmt.Sprintf("%d colors in %d shards", e.Colors, e.Shards)
+			if e.Cancelled {
+				outcome = fmt.Sprintf("cancelled at shard %d", e.CancelledAtShard)
+			}
+			fmt.Printf("  entrant %2d [%s]: %s (%v, peak %.2f MB, %d pruned)\n",
+				e.Index, e.Name, outcome, e.Wall.Round(time.Millisecond),
+				float64(e.PeakBytes)/1e6, e.BoundPrunes)
+		}
+	}
+
 	// The palette-refinement pass claws colors back from the finished
 	// coloring: verification and group output below run on the refined
-	// result.
+	// result. Portfolio runs already refined their winner inside the race.
 	finalColors := res.Colors
-	if ropts, ok := spec.RefineOptions(); ok {
-		if b := spec.RefineBudgetBytes(); b > 0 {
-			opts.MemoryBudgetBytes = b
+	var rst *picasso.RefineStats
+	switch {
+	case pres != nil:
+		finalColors = pres.FinalColors()
+		rst = pres.Refine
+	default:
+		if ropts, ok := spec.RefineOptions(); ok {
+			if b := spec.RefineBudgetBytes(); b > 0 {
+				opts.MemoryBudgetBytes = b
+			}
+			if set != nil {
+				rst, err = picasso.RefinePauli(context.Background(), set, res.Colors, opts, ropts)
+			} else {
+				rst, err = picasso.Refine(context.Background(), oracle, res.Colors, opts, ropts)
+			}
+			if err != nil {
+				fatal("refinement failed: %v", err)
+			}
+			finalColors = rst.Colors
 		}
-		var rst *picasso.RefineStats
-		if set != nil {
-			rst, err = picasso.RefinePauli(context.Background(), set, res.Colors, opts, ropts)
-		} else {
-			rst, err = picasso.Refine(context.Background(), oracle, res.Colors, opts, ropts)
-		}
-		if err != nil {
-			fatal("refinement failed: %v", err)
-		}
-		finalColors = rst.Colors
+	}
+	if rst != nil {
 		fmt.Printf("refined: %d -> %d colors (-%.1f%%) in %d rounds, %d/%d moved vertices recolored (%v, peak %.2f MB)\n",
 			rst.ColorsBefore, rst.ColorsAfter,
 			100*float64(rst.ClassesEliminated)/float64(max(rst.ColorsBefore, 1)),

@@ -200,6 +200,16 @@ func (e *engine) runUnit() error {
 			e.fallback()
 			break
 		}
+		if pb := e.pruneBound(); pb > 0 && e.base >= pb {
+			// The palette window has advanced past the portfolio bound: every
+			// further candidate would be pruned, so iterating more only burns
+			// conflict builds on vertices that can no longer color. Fall back
+			// now — the singletons land above the global ceiling, the entrant's
+			// prefix count blows past the bound, and the race cancels it at
+			// the next checkpoint instead of grinding the iteration budget.
+			e.fallback()
+			break
+		}
 		before := len(e.active)
 		if err := e.iterate(); err != nil {
 			e.tr.Free(e.activeBytes)
@@ -317,7 +327,7 @@ func (e *engine) prepareIter(prefix int) (*prepared, error) {
 	hostRelease := func() { tr.Free(bst.HostBytes) }
 	var forbidden []bool
 	maskRelease := func() {}
-	if e.streamed && e.fixedEnd > 0 {
+	if e.streamed && (e.fixedEnd > 0 || e.pruneBound() > 0) {
 		forbidden = e.ar.forbidBuf(m * L)
 		maskRelease = tr.Scoped(int64(m * L))
 		if prefix > 0 {
@@ -326,6 +336,21 @@ func (e *engine) prepareIter(prefix int) (*prepared, error) {
 				listRelease()
 				hostRelease()
 				return nil, err
+			}
+		}
+		// Portfolio bound: forbid every slot whose global color would land at
+		// or above the best coloring already found — a candidate up there can
+		// only grow the entrant's count past a bound it must beat. The bound
+		// is frozen per entrant, so the marks (and the RNG draws they steer)
+		// are deterministic; marks accumulate exactly like fixed-pass marks.
+		if pb := e.pruneBound(); pb > 0 {
+			for i := 0; i < m; i++ {
+				for k, c := range cl.list(i) {
+					if e.base+c >= pb && !forbidden[i*L+k] {
+						forbidden[i*L+k] = true
+						st.BoundPrunes++
+					}
+				}
 			}
 		}
 	}
@@ -448,6 +473,7 @@ func (e *engine) finishIter(p *prepared) error {
 	e.res.TotalConflictEdges += st.ConflictEdges
 	e.res.TotalPairsTested += st.PairsTested
 	e.res.FixedPairsTested += st.FixedPairsTested
+	e.res.BoundPrunes += st.BoundPrunes
 	if st.ConflictEdges > e.res.MaxConflictEdges {
 		e.res.MaxConflictEdges = st.ConflictEdges
 	}
@@ -567,6 +593,16 @@ func (e *engine) fallback() {
 	// shard is a legitimately continuable boundary like any other.
 	e.active = e.active[:0]
 	e.res.Fallback = true
+}
+
+// pruneBound returns the portfolio race's shared color bound for this unit,
+// or 0 when no bound applies: refinement units already recolor into a pinned
+// palette strictly below any bound, so the bound never constrains them.
+func (e *engine) pruneBound() int32 {
+	if e.refineCeil > 0 {
+		return 0
+	}
+	return e.opts.pruneBound
 }
 
 // setColor assigns and keeps the global color ceiling current.

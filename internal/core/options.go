@@ -202,6 +202,15 @@ type Options struct {
 	// multiDevices distributes conflict-graph construction across a device
 	// group (set via ColorMultiDevice; the paper's multi-GPU future work).
 	multiDevices []*gpusim.Device
+	// pruneBound, when > 0, is the portfolio race's shared color bound: a
+	// streamed run forbids every candidate slot whose global color (palette
+	// base + candidate) is at or above it, concentrating the search below the
+	// best coloring already found (portfolio.go). Set only by Portfolio — the
+	// bound is frozen per entrant at launch, so each entrant's coloring stays
+	// a pure function of its own Options and the winner selection stays
+	// deterministic. Refinement units ignore it (their palette is already
+	// pinned below a stricter ceiling).
+	pruneBound int32
 	// builderInjected remembers that the caller supplied Builder explicitly
 	// (set by validate): a single injected instance is bound to one arena,
 	// so concurrent stream lanes cannot be derived from it and pipelining /

@@ -18,6 +18,7 @@ type IterStats struct {
 	ConflictEdges    int64         // |Ec|
 	PairsTested      int64         // candidate pairs the build examined (vs m(m−1)/2 all-pairs)
 	FixedPairsTested int64         // cross-frontier adjacency tests of the streaming fixed-color pass
+	BoundPrunes      int64         // candidate slots forbidden by the portfolio's shared color bound
 	Unconflicted     int           // vertices colored directly (line 8)
 	Colored          int           // total vertices colored this iteration
 	Failed           int           // |Vu| carried to the next iteration (unit-local)
@@ -47,6 +48,10 @@ type Result struct {
 	// streaming fixed-color pass spent pruning shard candidates against
 	// already-fixed colors (0 for one-shot runs).
 	FixedPairsTested int64
+	// BoundPrunes counts the candidate slots a portfolio entrant's shared
+	// best-so-far color bound forbade (0 outside portfolio races): the work
+	// the bound redirected toward colorings that can still win.
+	BoundPrunes int64
 	// Shards counts the completed stream units (0 for one-shot runs).
 	Shards int
 	// ResumedShards counts the stream units restored from a RunState

@@ -95,6 +95,12 @@ type Spec struct {
 	// (proper and deterministic per seed, not bit-identical). Values
 	// below 2 mean off. Implies Stream.
 	Speculate int `json:"speculate,omitempty"`
+	// Portfolio, when non-nil, races entrant configurations of the job —
+	// varying seed, strategy, shard size, and pipeline/speculate schedule —
+	// against a shared best-so-far color bound and keeps the deterministic
+	// winner (see picasso.Portfolio). Implies Stream. A single-entrant block
+	// is the plain run and is canonicalized away.
+	Portfolio *PortfolioSpec `json:"portfolio,omitempty"`
 	// Refine, when non-nil, runs the palette-refinement pass after the
 	// coloring: rounds of dissolving the smallest color classes and
 	// recoloring their vertices below the shrinking ceiling, clawing back
@@ -125,6 +131,30 @@ type RefineSpec struct {
 	// Budget is the refinement pass's own host-memory budget ("512MiB");
 	// empty inherits the job's budget. Normalized like Spec.Budget.
 	Budget string `json:"budget,omitempty"`
+}
+
+// PortfolioSpec parameterizes a portfolio race over the job.
+type PortfolioSpec struct {
+	// Entrants is the number of configurations raced, including the job's own
+	// as entrant 0 (2..picasso.MaxPortfolioEntrants). 1 means "no race" and
+	// normalizes the whole block away.
+	Entrants int `json:"entrants"`
+}
+
+// Normalize validates the portfolio block. A one-entrant block reports
+// itself as redundant (nil, nil): the caller drops it so the canonical form
+// of "race of one" and "plain run" coincide.
+func (p *PortfolioSpec) Normalize() (*PortfolioSpec, error) {
+	if p.Entrants <= 0 {
+		return nil, fmt.Errorf("jobspec: portfolio entrants %d must be positive", p.Entrants)
+	}
+	if p.Entrants > picasso.MaxPortfolioEntrants {
+		return nil, fmt.Errorf("jobspec: portfolio entrants %d exceed the cap of %d", p.Entrants, picasso.MaxPortfolioEntrants)
+	}
+	if p.Entrants == 1 {
+		return nil, nil
+	}
+	return p, nil
 }
 
 // Normalize validates the refine block and rewrites its budget to the
@@ -285,8 +315,15 @@ func (s *Spec) Normalize() error {
 	if s.Speculate == 1 {
 		s.Speculate = 0 // one lane is the sequential stream: canonical "off"
 	}
-	if s.Shard > 0 || s.Budget != "" || s.Pipeline || s.Speculate >= 2 {
-		s.Stream = true // shard/budget/concurrency knobs imply the streaming engine
+	if s.Portfolio != nil {
+		p, err := s.Portfolio.Normalize()
+		if err != nil {
+			return err
+		}
+		s.Portfolio = p
+	}
+	if s.Shard > 0 || s.Budget != "" || s.Pipeline || s.Speculate >= 2 || s.Portfolio != nil {
+		s.Stream = true // shard/budget/concurrency/racing knobs imply the streaming engine
 	}
 	if s.Refine != nil {
 		if err := s.Refine.Normalize(); err != nil {
@@ -340,6 +377,15 @@ func (s Spec) BudgetBytes() int64 {
 // Refined reports whether the job asks for the post-coloring
 // palette-refinement pass.
 func (s Spec) Refined() bool { return s.Refine != nil }
+
+// PortfolioEntrants returns the portfolio race width of a normalized spec
+// (0 = no race).
+func (s Spec) PortfolioEntrants() int {
+	if s.Portfolio == nil {
+		return 0
+	}
+	return s.Portfolio.Entrants
+}
 
 // RefineOptions translates the refine block of a normalized spec into
 // engine options; the bool mirrors Refined. Budget wiring stays with the

@@ -45,6 +45,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
 		return
 	}
+	// Portfolio-block validation is typed so clients can branch on it: a
+	// non-positive entrant count (pre-Normalize — Normalize rejects it with
+	// the same message) or a width past this server's cap.
+	if spec.Portfolio != nil && spec.Portfolio.Entrants <= 0 {
+		writeErrorCode(w, http.StatusBadRequest, ErrCodeBadPortfolio,
+			fmt.Sprintf("portfolio entrants %d must be positive", spec.Portfolio.Entrants))
+		return
+	}
+	if spec.Portfolio != nil && spec.Portfolio.Entrants > s.cfg.MaxEntrants {
+		writeErrorCode(w, http.StatusBadRequest, ErrCodeBadPortfolio,
+			fmt.Sprintf("portfolio entrants %d exceed this server's cap of %d", spec.Portfolio.Entrants, s.cfg.MaxEntrants))
+		return
+	}
 	if err := spec.Normalize(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

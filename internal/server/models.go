@@ -67,6 +67,37 @@ type ResultSummary struct {
 	RefineRounds       int     `json:"refine_rounds,omitempty"`
 	ResumedShards      int     `json:"resumed_shards,omitempty"`
 	ElapsedMS          float64 `json:"elapsed_ms"`
+	// Portfolio digests a portfolio race (spec portfolio block, or the
+	// server's default entrants): winner identity, the shared bound, and one
+	// row per entrant. The summary's top-level fields describe the winning
+	// run (with peak_bytes covering all lanes combined).
+	Portfolio *PortfolioSummary `json:"portfolio,omitempty"`
+}
+
+// PortfolioSummary digests a portfolio race for the status endpoint.
+type PortfolioSummary struct {
+	Entrants     int              `json:"entrants"`
+	Winner       int              `json:"winner"`
+	Bound        int              `json:"bound"`        // phase-A color count the racers pruned against
+	Cancelled    int              `json:"cancelled"`    // entrants retired early by the shared bound
+	BoundPrunes  int64            `json:"bound_prunes"` // candidate slots the bound forbade, all lanes
+	TimeToBestMS float64          `json:"time_to_best_ms"`
+	EntrantStats []EntrantSummary `json:"entrant_stats"`
+}
+
+// EntrantSummary is one portfolio entrant's digest: its distinguishing
+// configuration and what its run did. Cancelled entrants report no colors —
+// they never finished — plus the shard count at which the bound retired them.
+type EntrantSummary struct {
+	Index            int     `json:"index"`
+	Name             string  `json:"name"`
+	Colors           int     `json:"colors,omitempty"`
+	Shards           int     `json:"shards,omitempty"`
+	WallMS           float64 `json:"wall_ms"`
+	PeakBytes        int64   `json:"peak_bytes,omitempty"`
+	BoundPrunes      int64   `json:"bound_prunes,omitempty"`
+	Cancelled        bool    `json:"cancelled,omitempty"`
+	CancelledAtShard int     `json:"cancelled_at_shard,omitempty"`
 }
 
 // AppendRequest is the body of POST /v1/jobs/{id}/append: new Pauli strings
@@ -133,11 +164,17 @@ type StatsResponse struct {
 	Restarted      int64 `json:"restarted"`
 	Retried        int64 `json:"retried"`
 	Interrupted    int64 `json:"interrupted"`
-	Queued         int   `json:"queued"`
-	Running        int   `json:"running"`
-	Retained       int   `json:"retained"`
-	CacheBytes     int64 `json:"cache_bytes"`
-	Workers        int   `json:"workers"`
+	// The portfolio counters aggregate the racing subsystem: entrants ever
+	// raced, entrants the shared bound cancelled early, and candidate color
+	// slots it pruned across all lanes.
+	PortfolioEntrants    int64 `json:"portfolio_entrants"`
+	PortfolioCancelled   int64 `json:"portfolio_cancelled"`
+	PortfolioBoundPrunes int64 `json:"portfolio_bound_prunes"`
+	Queued               int   `json:"queued"`
+	Running              int   `json:"running"`
+	Retained             int   `json:"retained"`
+	CacheBytes           int64 `json:"cache_bytes"`
+	Workers              int   `json:"workers"`
 }
 
 // ErrorResponse is the uniform error body. Code, when present, is a stable
@@ -161,4 +198,7 @@ const (
 	ErrCodeQueueFull   = "queue_full"   // bounded job queue at capacity
 	ErrCodeTenantQuota = "tenant_quota" // per-tenant active-job quota hit
 	ErrCodeDraining    = "draining"     // server shutting down
+	// ErrCodeBadPortfolio marks a 400 whose portfolio block is invalid:
+	// non-positive entrants, or more entrants than this server allows.
+	ErrCodeBadPortfolio = "bad_portfolio"
 )

@@ -221,6 +221,19 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+
+	// Portfolio dispatch: a spec portfolio block, or the server's default
+	// entrants for streamed jobs that didn't ask. A resumable checkpoint
+	// wins over a server-side default — portfolio runs never checkpoint, so
+	// one can only exist for a job that previously ran single-entrant.
+	entrants := job.Spec.PortfolioEntrants()
+	if entrants == 0 && job.Spec.Streamed() && s.cfg.DefaultEntrants >= 2 && resume == nil {
+		entrants = s.cfg.DefaultEntrants
+	}
+	if entrants >= 2 {
+		return s.colorPortfolio(job, opts, entrants, oracle, set)
+	}
+
 	var res *picasso.Result
 	switch {
 	case set != nil && job.Spec.Streamed():
@@ -286,6 +299,67 @@ func (s *Server) color(job *Job, arena *picasso.Arena) (*ResultSummary, [][]int,
 
 	groups := picasso.ColorGroups(res.Colors)
 	return summarize(res, groups), groups, set, nil
+}
+
+// colorPortfolio races entrants configurations of the job and publishes the
+// deterministic winner, refined when the spec asked for it: the summary's
+// top-level fields describe the winning run (its peak covering all lanes
+// combined), the nested portfolio block the race. The winner's groups flow
+// into the normal persistence path, so a portfolio job's artifact is exactly
+// a single run's.
+func (s *Server) colorPortfolio(job *Job, opts picasso.Options, entrants int, oracle picasso.Oracle, set *picasso.PauliSet) (*ResultSummary, [][]int, *picasso.PauliSet, error) {
+	popts := picasso.PortfolioOptions{Entrants: entrants}
+	if ropts, ok := job.Spec.RefineOptions(); ok {
+		popts.Refine = ropts
+		popts.RefineBudgetBytes = job.Spec.RefineBudgetBytes()
+	} else {
+		popts.NoRefine = true
+	}
+	var pres *picasso.PortfolioResult
+	var err error
+	if set != nil {
+		pres, err = picasso.PortfolioPauli(job.ctx, set, opts, popts)
+	} else {
+		pres, err = picasso.Portfolio(job.ctx, oracle, opts, popts)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	s.mu.Lock()
+	s.stats.portfolioEntrants += int64(len(pres.Entrants))
+	s.stats.portfolioCancelled += int64(pres.CancelledEntrants)
+	s.stats.portfolioBoundPrunes += pres.BoundPrunes
+	s.mu.Unlock()
+
+	groups := picasso.ColorGroups(pres.FinalColors())
+	sum := summarize(pres.Result, groups)
+	if pres.Refine != nil {
+		refineSummarize(sum, pres.Result.NumColors, pres.Refine)
+	}
+	ps := &PortfolioSummary{
+		Entrants:     len(pres.Entrants),
+		Winner:       pres.Winner,
+		Bound:        pres.Bound,
+		Cancelled:    pres.CancelledEntrants,
+		BoundPrunes:  pres.BoundPrunes,
+		TimeToBestMS: float64(pres.TimeToBest) / float64(time.Millisecond),
+	}
+	for _, e := range pres.Entrants {
+		ps.EntrantStats = append(ps.EntrantStats, EntrantSummary{
+			Index:            e.Index,
+			Name:             e.Name,
+			Colors:           e.Colors,
+			Shards:           e.Shards,
+			WallMS:           float64(e.Wall) / float64(time.Millisecond),
+			PeakBytes:        e.PeakBytes,
+			BoundPrunes:      e.BoundPrunes,
+			Cancelled:        e.Cancelled,
+			CancelledAtShard: e.CancelledAtShard,
+		})
+	}
+	sum.Portfolio = ps
+	return sum, groups, set, nil
 }
 
 // buildInput materializes a job's input, consulting the disk tier first: a

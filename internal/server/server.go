@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"picasso"
 	"picasso/internal/artifact"
 	"picasso/internal/backend"
 	"picasso/internal/jobspec"
@@ -70,6 +71,16 @@ type Config struct {
 	// cross-shard repair) for streamed jobs whose spec sets neither knob;
 	// values below 2 mean off. Takes precedence over DefaultPipeline.
 	DefaultSpeculate int
+	// DefaultEntrants races every streamed job whose spec carries no
+	// portfolio block of its own as a portfolio of this many entrants
+	// (values below 2 mean off); an explicit spec always wins. Append and
+	// refine child jobs never race — their work is anchored to a frozen
+	// parent grouping.
+	DefaultEntrants int
+	// MaxEntrants caps the portfolio width this server accepts, both from
+	// specs and from DefaultEntrants (0 = picasso.MaxPortfolioEntrants).
+	// Submissions past it are rejected with a typed "bad_portfolio" 400.
+	MaxEntrants int
 	// ArtifactDir, when non-empty, arms the disk tier: finished jobs are
 	// persisted as content-addressed artifacts there (surviving restarts),
 	// resubmissions rehydrate from disk without recoloring, prepped slabs
@@ -107,6 +118,12 @@ func (c *Config) fill() error {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.MaxEntrants <= 0 || c.MaxEntrants > picasso.MaxPortfolioEntrants {
+		c.MaxEntrants = picasso.MaxPortfolioEntrants
+	}
+	if c.DefaultEntrants > c.MaxEntrants {
+		return fmt.Errorf("server: default entrants %d exceed the cap of %d", c.DefaultEntrants, c.MaxEntrants)
 	}
 	if c.DefaultBackend != "" && c.DefaultBackend != "auto" {
 		// Probe the registry with the service's (device-less) resources:
@@ -175,6 +192,7 @@ type Server struct {
 		submitted, cacheHits, completed, failed, cancelled, rejected, evicted int64
 		diskHits, artifactLoads, artifactWrites                               int64
 		resumed, restarted, retried, interrupted                              int64
+		portfolioEntrants, portfolioCancelled, portfolioBoundPrunes           int64
 	}
 }
 
@@ -496,10 +514,15 @@ func (s *Server) Stats() StatsResponse {
 		Restarted:      s.stats.restarted,
 		Retried:        s.stats.retried,
 		Interrupted:    s.stats.interrupted,
-		Queued:         queued,
-		Running:        s.running,
-		Retained:       s.done.Len(),
-		CacheBytes:     s.cacheBytes,
-		Workers:        s.cfg.Workers,
+
+		PortfolioEntrants:    s.stats.portfolioEntrants,
+		PortfolioCancelled:   s.stats.portfolioCancelled,
+		PortfolioBoundPrunes: s.stats.portfolioBoundPrunes,
+
+		Queued:     queued,
+		Running:    s.running,
+		Retained:   s.done.Len(),
+		CacheBytes: s.cacheBytes,
+		Workers:    s.cfg.Workers,
 	}
 }

@@ -42,6 +42,7 @@ package picasso
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"slices"
 
 	"picasso/internal/backend"
@@ -110,7 +111,18 @@ type (
 	RefineStats = core.RefineStats
 	// RefineRound records one refinement round.
 	RefineRound = core.RefineRound
+	// PortfolioOptions shapes a portfolio race (entrant count or explicit
+	// variant list, concurrency cap, automatic-refine knobs).
+	PortfolioOptions = core.PortfolioOptions
+	// PortfolioResult is a race's outcome: the winning entrant's Result plus
+	// per-entrant stats, the shared bound, and the auto-refinement.
+	PortfolioResult = core.PortfolioResult
+	// EntrantStats describes one portfolio entrant's configuration and run.
+	EntrantStats = core.EntrantStats
 )
+
+// MaxPortfolioEntrants caps the entrants of a portfolio race.
+const MaxPortfolioEntrants = core.MaxPortfolioEntrants
 
 // Conflict-graph coloring strategies.
 const (
@@ -242,6 +254,28 @@ func RefineStream(ctx context.Context, o Oracle, opts Options, ropts RefineOptio
 	return core.RefineStream(ctx, o, opts, ropts)
 }
 
+// Portfolio races entrant configurations of one coloring job — by default
+// popts.Entrants variants of opts differing in seed, list-coloring strategy,
+// shard size, and pipeline/speculate schedule — concurrently, each on its own
+// memory-metered lane, against a shared best-so-far color bound: entrant 0's
+// count is frozen into every racer as a prune ceiling on candidate colors,
+// and entrants that provably cannot beat the published best are cancelled at
+// their next shard boundary. The winner (lexicographically fewest colors,
+// ties by entrant index — deterministic for a fixed spec, never wall-clock)
+// is automatically fed through Refine. opts.MemoryBudgetBytes is the whole
+// race's budget: the returned Result's HostPeakBytes/BudgetExceeded cover all
+// lanes combined.
+func Portfolio(ctx context.Context, o Oracle, opts Options, popts PortfolioOptions) (*PortfolioResult, error) {
+	return core.Portfolio(ctx, o, opts, popts)
+}
+
+// PortfolioPauli is Portfolio over a Pauli-string set's commutation graph:
+// the racing equivalent of ColorPauli, returning the fewest unitary groups
+// any entrant found, refined.
+func PortfolioPauli(ctx context.Context, set *PauliSet, opts Options, popts PortfolioOptions) (*PortfolioResult, error) {
+	return core.Portfolio(ctx, core.NewPauliOracle(set), opts, popts)
+}
+
 // ColorStrings parses raw Pauli letter strings and colors their commutation
 // graph in one call — the submit-and-collect entry point the coloring
 // service uses for inline string payloads.
@@ -365,12 +399,23 @@ func Backends() []string { return backend.Names() }
 // Verify checks that a coloring is proper and complete on an oracle.
 func Verify(o Oracle, c Coloring) error { return graph.VerifyOracle(o, c) }
 
-// Tune sweeps the paper's (P′, α) grid on the given oracle and returns the
+// Tune measures the paper's (P′, α) grid on the given oracle and returns the
 // Options minimizing the §VI objective β·colors + (1−β)·conflict-work
 // (both min-max normalized over the grid). β → 1 optimizes quality,
 // β → 0 optimizes memory and runtime. This is the sweep underlying the
 // paper's ML predictor; cmd/trainpredictor trains the random-forest model
 // on many such sweeps.
+//
+// Tune evaluates a compact 5×4 grid — P′ ∈ {1%, 3%, 6.25%, 12.5%, 20%},
+// α ∈ {0.5, 1, 2, 4.5} — spanning the same (memory-lean … quality-lean)
+// range as mlpredict.DefaultPFracs/DefaultAlphas' full 9×9 grid at a
+// twentieth of the cost; cmd/trainpredictor is the entry point for full-grid
+// sweeps. The grid points run as a measurement-mode portfolio race (bounding
+// and cancellation off — every cell must complete, since the objective mixes
+// color count with conflict work) with up to GOMAXPROCS cells in flight, so
+// a multi-core tune finishes in roughly the wall-clock of its slowest cell;
+// each cell's measurement is identical to the lone one-shot run the
+// historical sequential sweep made.
 //
 // An optional backend name (see Backends) runs the sweep — and stamps the
 // returned Options — with that conflict-construction backend, so tuning
@@ -387,12 +432,32 @@ func Tune(o Oracle, beta float64, seed int64, backendName ...string) (Options, e
 	default:
 		return Options{}, fmt.Errorf("picasso: Tune takes at most one backend name, got %d", len(backendName))
 	}
-	// A compact grid keeps Tune affordable; the CLI exposes the full one.
 	pfracs := []float64{0.01, 0.03, 0.0625, 0.125, 0.2}
 	alphas := []float64{0.5, 1, 2, 4.5}
-	sweep, err := mlpredict.SweepBackend(o, 0, pfracs, alphas, seed, 0, be)
+	variants := make([]Options, 0, len(pfracs)*len(alphas))
+	for _, pf := range pfracs {
+		for _, a := range alphas {
+			variants = append(variants, Options{PaletteFrac: pf, Alpha: a, Seed: seed, Backend: be})
+		}
+	}
+	pres, err := core.Portfolio(context.Background(), o, variants[0], PortfolioOptions{
+		Variants:      variants,
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		DisableBound:  true,
+		OneShot:       true,
+		NoRefine:      true,
+	})
 	if err != nil {
-		return Options{}, err
+		return Options{}, fmt.Errorf("picasso: tune sweep: %w", err)
+	}
+	sweep := mlpredict.SweepResult{V: o.NumVertices()}
+	for i, e := range pres.Entrants {
+		sweep.Points = append(sweep.Points, mlpredict.SweepPoint{
+			PFrac:            variants[i].PaletteFrac,
+			Alpha:            variants[i].Alpha,
+			Colors:           e.Colors,
+			MaxConflictEdges: e.MaxConflictEdges,
+		})
 	}
 	best := sweep.OptimalFor(beta)
 	return Options{PaletteFrac: best.PFrac, Alpha: best.Alpha, Seed: seed, Backend: be}, nil

@@ -82,6 +82,42 @@ if [ -z "$pipelined" ] || [ "$pipelined" -eq 0 ]; then
   exit 1
 fi
 
+# A portfolio job: three entrants race on private lanes, the winner's
+# grouping is served. The summary must carry the portfolio block with the
+# entrant count and winner index, and the lifetime stats must have counted
+# the race's entrants.
+rsubmit=$(curl -sf -X POST "$BASE/jobs" -d '{"random":"1200:0.5","seed":4,"shard":400,"portfolio":{"entrants":3}}')
+echo "portfolio submit: $rsubmit"
+rid=$(echo "$rsubmit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$rid" ]; then echo "FAIL: no job id in portfolio submit response" >&2; exit 1; fi
+for i in $(seq 1 150); do
+  state=$(curl -sf "$BASE/jobs/$rid" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed) echo "FAIL: portfolio job failed"; curl -s "$BASE/jobs/$rid" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 150 ]; then echo "FAIL: portfolio job never finished (state=$state)" >&2; exit 1; fi
+  sleep 0.2
+done
+rstatus=$(curl -sf "$BASE/jobs/$rid")
+rentrants=$(echo "$rstatus" | sed -n 's/.*"portfolio":{"entrants":\([0-9]*\).*/\1/p')
+rwinner=$(echo "$rstatus" | sed -n 's/.*"winner":\([0-9]*\).*/\1/p')
+if [ "${rentrants:-0}" -ne 3 ] || [ -z "$rwinner" ]; then
+  echo "FAIL: portfolio summary missing or malformed" >&2
+  echo "$rstatus" >&2
+  exit 1
+fi
+rgcode=$(curl -s -o /tmp/rgroups.json -w '%{http_code}' "$BASE/jobs/$rid/groups")
+rgroups=$(sed -n 's/.*"num_groups":\([0-9]*\).*/\1/p' /tmp/rgroups.json)
+if [ "$rgcode" != 200 ] || [ -z "$rgroups" ] || [ "$rgroups" -eq 0 ]; then
+  echo "FAIL: portfolio winner groups missing (HTTP $rgcode)" >&2; exit 1
+fi
+pstats=$(curl -sf "$BASE/stats")
+pentrants=$(echo "$pstats" | sed -n 's/.*"portfolio_entrants":\([0-9]*\).*/\1/p')
+if [ "${pentrants:-0}" -lt 3 ]; then
+  echo "FAIL: stats did not count the race's entrants: $pstats" >&2; exit 1
+fi
+
 # Resubmitting the identical spec must be a cache hit.
 resubmit=$(curl -sf -X POST "$BASE/jobs" -d '{"random":"500:0.5","seed":1}')
 echo "resubmit: $resubmit"
