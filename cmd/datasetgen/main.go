@@ -1,9 +1,13 @@
-// Command datasetgen materializes Table II instances as text files: one
-// Pauli string and coefficient per line, consumable by `picasso -strings`
-// or external tooling.
+// Command datasetgen materializes workload instances as text files: Table
+// II molecule instances as one Pauli string and coefficient per line
+// (consumable by `picasso -strings` or external tooling), and benchmark
+// graph instances as DIMACS or edge-list files (consumable by
+// `picasso -graph` or any solver that reads the formats).
 //
 //	datasetgen -name "H6 3D sto3g" -out h6_3d.txt
 //	datasetgen -all -dir dataset/          # every small-class instance
+//	datasetgen -graph queen9_9 -format dimacs -out queen9_9.col
+//	datasetgen -graph reg4096 -format edgelist
 package main
 
 import (
@@ -14,15 +18,18 @@ import (
 	"path/filepath"
 	"strings"
 
+	"picasso/internal/graph"
 	"picasso/internal/workload"
 )
 
 func main() {
 	var (
 		name   = flag.String("name", "", "Table II instance name")
+		graphN = flag.String("graph", "", "benchmark graph name (queen9_9, myciel5, reg4096)")
+		format = flag.String("format", "dimacs", "graph output format for -graph: dimacs | edgelist")
 		all    = flag.Bool("all", false, "emit every small-class instance")
 		dir    = flag.String("dir", ".", "output directory for -all")
-		out    = flag.String("out", "", "output file for -name (default: derived)")
+		out    = flag.String("out", "", "output file for -name/-graph (default: derived)")
 		target = flag.Int("target", 0, "term-count target (0 = Table II target)")
 		stats  = flag.Bool("stats", false, "also measure and print edge counts")
 	)
@@ -35,6 +42,8 @@ func main() {
 			path := filepath.Join(*dir, fileName(inst.Name))
 			emit(inst, opts, *target, path, *stats)
 		}
+	case *graphN != "":
+		emitGraph(*graphN, *format, *out)
 	case *name != "":
 		inst, err := workload.ByName(*name)
 		if err != nil {
@@ -53,6 +62,40 @@ func main() {
 
 func fileName(name string) string {
 	return strings.ReplaceAll(strings.ToLower(name), " ", "_") + ".paulis"
+}
+
+// emitGraph writes a benchmark-family instance in the named file format.
+// The emitted bytes round-trip: parsing the file yields a CSR bit-identical
+// to the generator's (renderGraph is shared with the round-trip test).
+func emitGraph(name, format, out string) {
+	g, canonical, err := workload.LookupGraph(name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	data, ext, err := renderGraph(g, format)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if out == "" {
+		out = canonical + ext
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: %d vertices, %d edges -> %s\n", canonical, g.N, len(g.Adj)/2, out)
+}
+
+// renderGraph serializes a CSR in the named format and reports the
+// conventional file extension.
+func renderGraph(g *graph.CSR, format string) ([]byte, string, error) {
+	switch format {
+	case "dimacs":
+		return graph.WriteDIMACS(g), ".col", nil
+	case "edgelist":
+		return graph.WriteEdgeList(g), ".edges", nil
+	default:
+		return nil, "", fmt.Errorf("unknown -format %q (want dimacs | edgelist)", format)
+	}
 }
 
 func emit(inst workload.Instance, opts workload.BuildOptions, target int, path string, stats bool) {

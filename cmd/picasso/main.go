@@ -6,10 +6,14 @@
 //	-molecule "H6 3D sto3g"   a Table II instance (synthetic integrals)
 //	-strings file.txt         one Pauli string per line ("IXYZ", ...)
 //	-random n:density         a hashed Erdős–Rényi dense graph
+//	-graph queen9_9           a benchmark-family instance (queen/myciel/reg)
+//	-graph graph.col          a graph file: DIMACS, Matrix Market, or edge list
 //
 // Examples:
 //
 //	picasso -molecule "H6 3D sto3g" -mode aggressive -verify
+//	picasso -graph myciel7 -variant equitable -verify
+//	picasso -graph roads.mtx -budget 256MiB -refine -verify
 //	picasso -random 100000:0.5 -p 0.125 -alpha 2 -gpu 40e9
 //	picasso -strings paulis.txt -backend parallel -groups groups.txt
 //	picasso -random 200000:0.5 -budget 256MiB -verify   (streamed under a budget)
@@ -54,6 +58,8 @@ func main() {
 		molecule = flag.String("molecule", "", "Table II instance name, e.g. \"H6 3D sto3g\"")
 		stringsF = flag.String("strings", "", "file with one Pauli string per line")
 		random   = flag.String("random", "", "random dense graph as n:density, e.g. 50000:0.5")
+		graphF   = flag.String("graph", "", "general graph: a benchmark name (queen9_9, myciel5, reg4096) or a file (DIMACS .col, Matrix Market .mtx, edge list)")
+		variant  = flag.String("variant", "", "coloring variant: equitable | distance2 (empty = standard)")
 		mode     = flag.String("mode", "normal", "normal | aggressive | custom")
 		pfrac    = flag.Float64("p", 0.125, "palette size as a fraction of |V| (custom mode)")
 		alpha    = flag.Float64("alpha", 2, "list-size factor (custom mode)")
@@ -84,6 +90,7 @@ func main() {
 	spec := jobspec.Spec{
 		Random:    *random,
 		Instance:  *molecule,
+		Variant:   *variant,
 		Target:    *target,
 		Mode:      *mode,
 		PFrac:     *pfrac,
@@ -114,7 +121,17 @@ func main() {
 	if *stringsF != "" {
 		spec.Strings = readStrings(*stringsF)
 	}
-	if spec.Random == "" && spec.Instance == "" && len(spec.Strings) == 0 {
+	if *graphF != "" {
+		// A readable path is a graph file shipped inline (Normalize collapses
+		// it to its content key); anything else is a benchmark-family name.
+		if data, err := os.ReadFile(*graphF); err == nil {
+			spec.GraphData = string(data)
+		} else {
+			spec.Graph = *graphF
+		}
+	}
+	if spec.Random == "" && spec.Instance == "" && len(spec.Strings) == 0 &&
+		spec.Graph == "" && spec.GraphData == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -150,11 +167,18 @@ func main() {
 		err    error
 	)
 	if store != nil {
-		// A prep artifact matching this spec hands back the parsed slab and
+		// A prep artifact matching this spec hands back the parsed input and
 		// skips the parse (and, for molecule instances, the synthesis).
-		if art, err := store.Get(spec.Canonical()); err == nil && art.Set != nil {
-			set = art.Set
-			fmt.Printf("artifact %s: loaded prepped slab, parse skipped\n", artifact.Address(art.Spec))
+		if art, err := store.Get(spec.Canonical()); err == nil {
+			switch {
+			case art.Set != nil:
+				set = art.Set
+				fmt.Printf("artifact %s: loaded prepped slab, parse skipped\n", artifact.Address(art.Spec))
+			case art.Graph != nil && spec.GraphCSR() == nil:
+				if aerr := spec.AttachGraph(art.Graph); aerr == nil {
+					fmt.Printf("artifact %s: loaded prepped graph, parse skipped\n", artifact.Address(art.Spec))
+				}
+			}
 		}
 	}
 	if set == nil {
@@ -170,8 +194,13 @@ func main() {
 	case len(spec.Strings) > 0:
 		tr.Alloc(set.Bytes())
 		fmt.Printf("file %q: %d strings on %d qubits\n", *stringsF, set.Len(), set.Qubits())
+	case spec.Graph != "":
+		fmt.Printf("graph %q: %d vertices\n", spec.Graph, oracle.NumVertices())
 	default:
 		fmt.Printf("random graph: %d vertices\n", oracle.NumVertices())
+	}
+	if spec.Variant != "" {
+		fmt.Printf("variant: %s\n", spec.Variant)
 	}
 
 	// For streamed runs, keep the last resumable shard-boundary snapshot:
@@ -351,16 +380,28 @@ func main() {
 }
 
 // runPrep is the preprocess half of the preprocess/serve split: parse the
-// Pauli input once, persist the packed slab as a content-addressed
-// artifact, and exit. A later run (or a picasso-serve replica) pointed at
-// the same store loads the slab instead of re-parsing.
+// input once, persist it as a content-addressed artifact — the packed slab
+// for Pauli inputs, the base CSR for graph inputs — and exit. A later run
+// (or a picasso-serve replica) pointed at the same store loads the parsed
+// input instead of re-parsing.
 func runPrep(store *artifact.Store, spec jobspec.Spec) {
 	_, set, err := spec.BuildInput()
 	if err != nil {
 		fatal("building input: %v", err)
 	}
 	if set == nil {
-		fatal("-prep needs a Pauli input (-molecule or -strings); -random graphs have nothing to parse")
+		g := spec.GraphCSR()
+		if g == nil {
+			fatal("-prep needs a parseable input (-molecule, -strings, or -graph); -random graphs have nothing to parse")
+		}
+		canonical := spec.Canonical()
+		path, err := store.Put(&artifact.Artifact{Spec: canonical, Graph: g})
+		if err != nil {
+			fatal("writing artifact: %v", err)
+		}
+		fmt.Printf("prep artifact %s: graph with %d vertices, %d edges -> %s\n",
+			artifact.Address(canonical), g.N, len(g.Adj)/2, path)
+		return
 	}
 	canonical := spec.Canonical()
 	path, err := store.Put(&artifact.Artifact{Spec: canonical, Set: set})
@@ -384,6 +425,7 @@ func persistRun(store *artifact.Store, spec jobspec.Spec, set *picasso.PauliSet,
 	art := &artifact.Artifact{
 		Spec:     spec.Canonical(),
 		Set:      set,
+		Graph:    spec.GraphCSR(),
 		Index:    ix,
 		Colors:   colors,
 		RunState: checkpoint,

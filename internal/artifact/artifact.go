@@ -37,6 +37,7 @@ import (
 
 	"picasso/internal/bitvec"
 	"picasso/internal/bucket"
+	"picasso/internal/graph"
 	"picasso/internal/pauli"
 )
 
@@ -45,10 +46,15 @@ import (
 // read.
 var Magic = [8]byte{0x89, 'P', 'I', 'C', 0x0D, 0x0A, 0x1A, 0x0A}
 
-// FormatVersion is the current .pic format version. Readers reject files
-// with any other version: the format evolves by version bump, never by
-// silent reinterpretation.
-const FormatVersion = 1
+// FormatVersion is the current .pic format version. Version 2 added the
+// graph section (a materialized CSR for general-graph jobs). Readers accept
+// [minFormatVersion, FormatVersion] — every version bump so far only added
+// section kinds, so older files remain readable — and reject anything newer:
+// the format evolves by version bump, never by silent reinterpretation.
+const (
+	FormatVersion    = 2
+	minFormatVersion = 1
+)
 
 // Section kinds. An artifact holds at most one section of each kind; Spec
 // is mandatory, the rest are optional.
@@ -71,12 +77,16 @@ const (
 	// SectionMeta is an opaque JSON blob owned by the writer (the coloring
 	// service stores its job envelope here).
 	SectionMeta = 6
+	// SectionGraph is a materialized general graph in CSR form (format
+	// version ≥ 2) — the edge data behind a content-key graph spec, so a
+	// graph job is rebuildable from its artifact alone.
+	SectionGraph = 7
 )
 
 const (
 	headerSize  = 16 // magic + version + section count
 	entrySize   = 32 // kind + flags + offset + length + crc + pad
-	maxSections = 64 // far above the 6 defined kinds; caps hostile tables
+	maxSections = 64 // far above the 7 defined kinds; caps hostile tables
 )
 
 // Artifact is the in-memory form of one .pic file. Spec is mandatory;
@@ -95,6 +105,9 @@ type Artifact struct {
 	RunState []byte
 	// Meta is a writer-owned JSON envelope (opaque here).
 	Meta []byte
+	// Graph is a materialized general graph (nil for Pauli/random jobs):
+	// the payload behind the spec's "csr:<n>:<m>:<hash>" content key.
+	Graph *graph.CSR
 }
 
 // Complete reports whether the artifact carries a finished result a server
@@ -140,6 +153,12 @@ func Encode(w io.Writer, a *Artifact) error {
 	}
 	if len(a.Meta) > 0 {
 		sections = append(sections, section{SectionMeta, a.Meta})
+	}
+	if a.Graph != nil {
+		if err := a.Graph.Validate(); err != nil {
+			return fmt.Errorf("artifact: refusing to encode a corrupt graph: %w", err)
+		}
+		sections = append(sections, section{SectionGraph, encodeGraph(a.Graph)})
 	}
 
 	var buf bytes.Buffer
@@ -196,8 +215,9 @@ func Decode(r io.Reader) (*Artifact, error) {
 		return nil, fmt.Errorf("artifact: bad magic %x (not a .pic file, or mangled in transfer)", data[:8])
 	}
 	le := binary.LittleEndian
-	if v := le.Uint32(data[8:12]); v != FormatVersion {
-		return nil, fmt.Errorf("artifact: format version %d, this reader understands %d", v, FormatVersion)
+	if v := le.Uint32(data[8:12]); v < minFormatVersion || v > FormatVersion {
+		return nil, fmt.Errorf("artifact: format version %d, this reader understands %d through %d",
+			v, minFormatVersion, FormatVersion)
 	}
 	count := int(le.Uint32(data[12:16]))
 	if count < 1 || count > maxSections {
@@ -249,6 +269,10 @@ func Decode(r io.Reader) (*Artifact, error) {
 			a.RunState = append([]byte(nil), payload...)
 		case SectionMeta:
 			a.Meta = append([]byte(nil), payload...)
+		case SectionGraph:
+			if a.Graph, err = decodeGraph(payload); err != nil {
+				return nil, err
+			}
 		default:
 			// Unknown kinds are an error under the current version: forward
 			// compatibility is handled by the version field, not by skipping
@@ -267,6 +291,11 @@ func Decode(r io.Reader) (*Artifact, error) {
 	if a.Index != nil && len(a.Colors) > 0 && a.Index.NumVertices() != len(a.Colors) {
 		return nil, fmt.Errorf("artifact: index covers %d vertices, coloring has %d",
 			a.Index.NumVertices(), len(a.Colors))
+	}
+	if a.Graph != nil {
+		if err := a.Graph.Validate(); err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
 	}
 	return a, nil
 }
@@ -405,6 +434,58 @@ func encodeColoring(colors []int32) []byte {
 		p += 4
 	}
 	return out
+}
+
+// encodeGraph lays a CSR out as two counts (vertices, adjacency entries)
+// followed by the offset and adjacency arrays; Adj is padded to 8 bytes.
+func encodeGraph(g *graph.CSR) []byte {
+	size := 16 + 8*len(g.Offsets) + int(align8(uint64(4*len(g.Adj))))
+	out := make([]byte, size)
+	le := binary.LittleEndian
+	le.PutUint64(out[0:], uint64(g.N))
+	le.PutUint64(out[8:], uint64(len(g.Adj)))
+	p := 16
+	for _, o := range g.Offsets {
+		le.PutUint64(out[p:], uint64(o))
+		p += 8
+	}
+	for _, v := range g.Adj {
+		le.PutUint32(out[p:], uint32(v))
+		p += 4
+	}
+	return out
+}
+
+func decodeGraph(payload []byte) (*graph.CSR, error) {
+	if len(payload) < 16 {
+		return nil, fmt.Errorf("artifact: graph section truncated at %d bytes", len(payload))
+	}
+	le := binary.LittleEndian
+	n := le.Uint64(payload[0:])
+	adj := le.Uint64(payload[8:])
+	if n > uint64(len(payload)) || adj > uint64(len(payload)) {
+		return nil, fmt.Errorf("artifact: graph section header corrupt (%d vertices, %d adjacency entries)", n, adj)
+	}
+	want := 16 + 8*(int(n)+1) + int(align8(4*adj))
+	if len(payload) != want {
+		return nil, fmt.Errorf("artifact: graph section is %d bytes, %d vertices over %d adjacency entries need %d",
+			len(payload), n, adj, want)
+	}
+	g := &graph.CSR{
+		N:       int(n),
+		Offsets: make([]int64, n+1),
+		Adj:     make([]int32, adj),
+	}
+	p := 16
+	for i := range g.Offsets {
+		g.Offsets[i] = int64(le.Uint64(payload[p:]))
+		p += 8
+	}
+	for i := range g.Adj {
+		g.Adj[i] = int32(le.Uint32(payload[p:]))
+		p += 4
+	}
+	return g, nil
 }
 
 func decodeColoring(payload []byte) ([]int32, error) {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"picasso/internal/bucket"
+	"picasso/internal/graph"
 	"picasso/internal/pauli"
 )
 
@@ -76,6 +77,12 @@ func equalArtifacts(a, b *Artifact) bool {
 			return false
 		}
 	}
+	if (a.Graph == nil) != (b.Graph == nil) {
+		return false
+	}
+	if a.Graph != nil && !reflect.DeepEqual(a.Graph, b.Graph) {
+		return false
+	}
 	return true
 }
 
@@ -115,6 +122,48 @@ func TestRoundTripSparse(t *testing.T) {
 		if got.Complete() {
 			t.Fatalf("%s: should not be Complete", a.Spec)
 		}
+	}
+}
+
+// TestRoundTripGraph covers the version-2 graph section: a general-graph
+// artifact round-trips bit-identically, and a corrupt CSR is rejected on
+// both the encode and decode sides.
+func TestRoundTripGraph(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Artifact{
+		Spec:   `{"graph":"csr:4:4:deadbeef","seed":1}`,
+		Graph:  g,
+		Colors: []int32{0, 1, 0, 1},
+	}
+	data := encodeBytes(t, want)
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalArtifacts(want, got) {
+		t.Fatal("graph artifact round trip differs")
+	}
+	if !bytes.Equal(data, encodeBytes(t, got)) {
+		t.Fatal("re-encoding is not bit-identical")
+	}
+
+	var buf bytes.Buffer
+	bad := &Artifact{Spec: "x", Graph: &graph.CSR{N: 2, Offsets: []int64{0, 9, 9}, Adj: []int32{1}}}
+	if err := Encode(&buf, bad); err == nil {
+		t.Fatal("corrupt graph encoded")
+	}
+}
+
+// TestDecodeOlderVersion pins backward compatibility: a version-1 file (no
+// graph section existed yet) still decodes under the version-2 reader.
+func TestDecodeOlderVersion(t *testing.T) {
+	data := encodeBytes(t, sampleArtifact(t))
+	binary.LittleEndian.PutUint32(data[8:], 1)
+	if _, err := Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("version-1 file rejected: %v", err)
 	}
 }
 

@@ -133,6 +133,14 @@ type engine struct {
 	// singleton fallback (vertices that cannot move stay uncolored for the
 	// driver to restore, so a stuck vertex is a no-op, never improper).
 	refineCeil int32
+
+	// Equitable variant state (equitable.go): bal biases candidate picks
+	// toward the smallest class (nil outside the variant, rebuilt per
+	// unit); balanceOnFinish runs the post-pass rebalance in finish —
+	// set for Color and Stream, never for Extend (the frozen prefix must
+	// stay bit-identical).
+	bal             *classBalance
+	balanceOnFinish bool
 }
 
 // newEngine charges the persistent color array and prepares a run. opts
@@ -186,6 +194,7 @@ func (e *engine) initUnit(start, end int) {
 	e.tr.Alloc(e.activeBytes)
 	e.base = 0
 	e.iter = 0
+	e.bal = e.newBalance()
 	if e.streamed {
 		e.rng = newUnitRNG(e.opts.Seed, start)
 	}
@@ -402,7 +411,27 @@ func (e *engine) finishIter(p *prepared) error {
 		}
 		lst := cl.list(i)
 		if forbidden == nil {
-			e.setColor(int(e.active[i]), e.base+lst[e.rng.Intn(len(lst))])
+			if e.bal != nil {
+				c := e.base + lst[e.bal.pickSlot(lst, e.base, nil, 0, e.rng)]
+				e.bal.note(c)
+				e.setColor(int(e.active[i]), c)
+			} else {
+				e.setColor(int(e.active[i]), e.base+lst[e.rng.Intn(len(lst))])
+			}
+			st.Unconflicted++
+			continue
+		}
+		if e.bal != nil {
+			// Equitable: among the allowed slots, take the one whose class
+			// is currently smallest instead of sampling uniformly.
+			k := e.bal.pickSlot(lst, e.base, forbidden, i*L, e.rng)
+			if k < 0 {
+				direct = append(direct, int32(i))
+				continue
+			}
+			c := e.base + lst[k]
+			e.bal.note(c)
+			e.setColor(int(e.active[i]), c)
 			st.Unconflicted++
 			continue
 		}
@@ -436,9 +465,9 @@ func (e *engine) finishIter(p *prepared) error {
 
 	var lc *listColorResult
 	if e.opts.Strategy == DynamicBuckets {
-		lc = colorConflictDynamic(conf.G, cl, conflicted, forbidden, e.rng, e.ar)
+		lc = colorConflictDynamic(conf.G, cl, conflicted, forbidden, e.bal, e.base, e.rng, e.ar)
 	} else {
-		lc = colorConflictStatic(conf.G, cl, conflicted, forbidden, e.opts.Strategy, e.rng, e.ar)
+		lc = colorConflictStatic(conf.G, cl, conflicted, forbidden, e.opts.Strategy, e.bal, e.base, e.rng, e.ar)
 	}
 	for _, v := range conflicted {
 		if c := lc.assign[v]; c != -1 {
@@ -637,6 +666,9 @@ func (e *engine) snapshot() RunState {
 
 // finish releases the color-array charge and seals the Result.
 func (e *engine) finish() *Result {
+	if e.balanceOnFinish {
+		balanceColors(e.o, e.colors)
+	}
 	e.res.NumColors = e.colors.NumColors()
 	e.res.TotalTime = time.Since(e.tStart)
 	e.res.HostPeakBytes = e.root.Peak()

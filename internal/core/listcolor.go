@@ -90,7 +90,7 @@ func (ml *mutableLists) remove(v int32, c int32) bool {
 // empties). Runtime O((|Vc|+|Ec|)·L) — the heap-free bound of §IV-B. In
 // streamed runs the forbidden mask pre-strikes colors held by adjacent
 // fixed-frontier vertices; a vertex left with nothing fails immediately.
-func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, rng *rand.Rand, ar *Arena) *listColorResult {
+func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, bal *classBalance, base int32, rng *rand.Rand, ar *Arena) *listColorResult {
 	ml := newMutableLists(cl, conflicted, forbidden, ar)
 	assign := ar.assignBuf(cl.n)
 	b := ar.bucketArray(cl.n, cl.L)
@@ -105,7 +105,15 @@ func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, for
 	for b.Len() > 0 {
 		v := b.PickFromMin(rng.Intn(b.MinBucketSize()))
 		lst := ml.list(v)
-		c := lst[rng.Intn(len(lst))]
+		var c int32
+		if bal != nil {
+			// Equitable: the live list holds only still-feasible colors, so
+			// the bias just picks the one with the smallest class.
+			c = lst[bal.pickSlot(lst, base, nil, 0, rng)]
+			bal.note(base + c)
+		} else {
+			c = lst[rng.Intn(len(lst))]
+		}
 		assign[v] = c
 		b.Remove(v)
 		res.colored++
@@ -133,7 +141,7 @@ func colorConflictDynamic(gc *graph.CSR, cl *colorLists, conflicted []int32, for
 // streamed runs, forbidden by the fixed-color pass). The taken-color set is
 // the arena's palette stamp set — one epoch bump per vertex instead of
 // rebuilding a map on the hot path.
-func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, strategy ListStrategy, rng *rand.Rand, ar *Arena) *listColorResult {
+func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, forbidden []bool, strategy ListStrategy, bal *classBalance, base int32, rng *rand.Rand, ar *Arena) *listColorResult {
 	order := ar.orderBuf(conflicted)
 	switch strategy {
 	case StaticNatural:
@@ -154,18 +162,46 @@ func colorConflictStatic(gc *graph.CSR, cl *colorLists, conflicted []int32, forb
 			}
 		}
 		picked := int32(-1)
-		for k, c := range cl.list(int(v)) {
-			if forbidden != nil && forbidden[int(v)*cl.L+k] {
-				continue
+		if bal != nil {
+			// Equitable: among the colors neither taken nor forbidden, the
+			// one with the smallest class (ties uniform), not the first fit.
+			ties := 0
+			var best int32
+			for k, c := range cl.list(int(v)) {
+				if forbidden != nil && forbidden[int(v)*cl.L+k] {
+					continue
+				}
+				if taken.has(c) {
+					continue
+				}
+				cnt := bal.count(base + c)
+				switch {
+				case picked == -1 || cnt < best:
+					picked, best, ties = c, cnt, 1
+				case cnt == best:
+					ties++
+					if rng.Intn(ties) == 0 {
+						picked = c
+					}
+				}
 			}
-			if !taken.has(c) {
-				picked = c
-				break
+		} else {
+			for k, c := range cl.list(int(v)) {
+				if forbidden != nil && forbidden[int(v)*cl.L+k] {
+					continue
+				}
+				if !taken.has(c) {
+					picked = c
+					break
+				}
 			}
 		}
 		if picked == -1 {
 			res.failed = append(res.failed, v)
 			continue
+		}
+		if bal != nil {
+			bal.note(base + picked)
 		}
 		assign[v] = picked
 		res.colored++

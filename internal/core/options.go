@@ -93,6 +93,31 @@ const (
 	StaticRandom   ListStrategy = "random"
 )
 
+// Variant selects the coloring problem the run solves. The palette
+// machinery is identical across variants; a variant only changes which
+// candidate a vertex prefers (equitable) or which oracle the conflicts are
+// tested against (distance-2).
+type Variant string
+
+// Coloring variants.
+const (
+	// VariantStandard is plain proper coloring — adjacent vertices differ.
+	VariantStandard Variant = ""
+	// VariantEquitable additionally drives the color-class sizes toward
+	// each other: every candidate pick is biased toward the currently
+	// smallest feasible class, and a post-pass merges and rebalances
+	// classes until the sizes are within ±1 where the graph permits
+	// (graph.VerifyEquitable checks the outcome). Append runs (Extend)
+	// skip the post-pass — a frozen prefix must stay bit-identical.
+	VariantEquitable Variant = "equitable"
+	// VariantDistance2 colors so vertices at distance ≤ 2 differ. The
+	// engine itself is unchanged: the input layer (jobspec, the CLIs)
+	// wraps the graph in its square (graph.NewSquare), whose batched
+	// row oracle feeds the same bucket conflict kernel; core accepts the
+	// name so the variant rides Options end to end.
+	VariantDistance2 Variant = "distance2"
+)
+
 // Options parameterizes a Picasso run. The two headline knobs are the
 // palette fraction P (paper: percent of |V|) and the list-size factor α.
 type Options struct {
@@ -118,6 +143,11 @@ type Options struct {
 	Device *gpusim.Device
 	// Strategy picks the conflict-graph coloring algorithm.
 	Strategy ListStrategy
+	// Variant selects the coloring problem: "" (standard proper coloring),
+	// "equitable" (class sizes driven to ±1 where feasible), or
+	// "distance2" (two-hop conflicts; the caller supplies the squared
+	// oracle — see the Variant constants).
+	Variant Variant
 	// MaxIterations bounds the outer loop; when exceeded the remaining
 	// vertices receive fresh singleton colors (always proper) and the run
 	// is flagged. 0 means the default of 64.
@@ -248,6 +278,11 @@ func (o *Options) validate() error {
 	case DynamicBuckets, StaticNatural, StaticLargest, StaticRandom:
 	default:
 		return fmt.Errorf("core: unknown list strategy %q", o.Strategy)
+	}
+	switch o.Variant {
+	case VariantStandard, VariantEquitable, VariantDistance2:
+	default:
+		return fmt.Errorf("core: unknown coloring variant %q", o.Variant)
 	}
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 64

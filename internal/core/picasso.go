@@ -112,6 +112,7 @@ func ColorContext(ctx context.Context, o graph.Oracle, opts Options) (*Result, e
 	opts.Tracker.SetBudget(opts.MemoryBudgetBytes)
 	opts.Tracker.ResetPeak()
 	e := newEngine(ctx, o, &opts, false)
+	e.balanceOnFinish = opts.Variant == VariantEquitable
 	e.initUnit(0, e.n)
 	if err := e.runUnit(); err != nil {
 		e.abort()

@@ -114,6 +114,9 @@ func (e *engine) adopt(pb *prebuild) {
 	e.base = 0
 	e.iter = pb.iter
 	e.rng = pb.rng
+	// The scratch engine never picked a color, so the class-size table is
+	// rebuilt here over the same frontier the sequential loop would see.
+	e.bal = e.newBalance()
 }
 
 // discardPrebuild drains an in-flight prebuild that will never be adopted

@@ -288,6 +288,11 @@ func Refine(ctx context.Context, o graph.Oracle, prev graph.Coloring, opts Optio
 	}
 
 	// Leave the result with dense ids regardless of how the loop exited.
+	if opts.Variant == VariantEquitable {
+		// A refinement round can leave classes lopsided (it empties the
+		// smallest ones); restore the variant's ±1 contract before sealing.
+		balanceColors(o, e.colors)
+	}
 	e.renumberBySize()
 	st.Colors = e.colors
 	st.ColorsAfter = e.colors.NumColors()
@@ -344,6 +349,7 @@ func (e *engine) initRecolorUnit(ids []int32, key int) {
 	e.tr.Alloc(e.activeBytes)
 	e.base = 0
 	e.iter = 0
+	e.bal = e.newBalance()
 	e.rng = newUnitRNG(e.opts.Seed, key)
 }
 

@@ -107,6 +107,9 @@ func streamRun(ctx context.Context, o graph.Oracle, opts *Options, prev graph.Co
 	opts.Tracker.SetBudget(opts.MemoryBudgetBytes)
 	opts.Tracker.ResetPeak()
 	e := newEngine(ctx, o, opts, true)
+	// Equitable runs rebalance in finish — except Extend, whose contract is
+	// that the frozen prefix comes back bit-identical.
+	e.balanceOnFinish = opts.Variant == VariantEquitable && prev == nil
 	switch {
 	case prev != nil:
 		copy(e.colors[:len(prev)], prev)

@@ -139,6 +139,38 @@ func VerifyOracle(o Oracle, c Coloring) error {
 	return nil
 }
 
+// VerifyEquitable checks the equitable-coloring balance guarantee: the
+// coloring is complete and every used color class holds within one vertex
+// of every other. Properness is a separate concern — pair VerifyEquitable
+// with VerifyCSR/VerifyOracle.
+func VerifyEquitable(c Coloring) error {
+	sizes := make(map[int32]int)
+	for v, col := range c {
+		if col == Uncolored {
+			return fmt.Errorf("graph: vertex %d uncolored", v)
+		}
+		sizes[col]++
+	}
+	if len(sizes) == 0 {
+		return nil
+	}
+	minSize, maxSize := len(c), 0
+	var minCol, maxCol int32
+	for col, sz := range sizes {
+		if sz < minSize {
+			minSize, minCol = sz, col
+		}
+		if sz > maxSize {
+			maxSize, maxCol = sz, col
+		}
+	}
+	if maxSize-minSize > 1 {
+		return fmt.Errorf("graph: not equitable: class %d holds %d vertices, class %d holds %d (spread %d > 1)",
+			maxCol, maxSize, minCol, minSize, maxSize-minSize)
+	}
+	return nil
+}
+
 // ColorClasses groups vertices by color: the clique partition on the
 // complement side (each color class of G' is a clique of G).
 func ColorClasses(c Coloring) map[int32][]int32 {

@@ -1,0 +1,399 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Format names a graph file format the parsers understand.
+type Format string
+
+// Supported graph file formats.
+const (
+	FormatDIMACS       Format = "dimacs"       // DIMACS .col: "p edge n m" header, 1-indexed "e u v" lines
+	FormatMatrixMarket Format = "matrixmarket" // Matrix Market coordinate: "%%MatrixMarket" banner, 1-indexed entries
+	FormatEdgeList     Format = "edgelist"     // whitespace-separated 0-indexed "u v" lines, '#' comments
+)
+
+// maxParseVertices bounds the vertex count a parsed file may declare, so a
+// hostile or corrupted header cannot make the parser allocate per-vertex
+// arrays far beyond anything the engine would accept (the service admits
+// at most 2^20 vertices by default).
+const maxParseVertices = 1 << 24
+
+// DetectFormat inspects the leading bytes of a graph file and picks the
+// format: a "%%MatrixMarket" banner wins, then DIMACS comment/problem/edge
+// line markers ('c', 'p', 'e'); anything else is treated as a whitespace
+// edge list.
+func DetectFormat(data []byte) Format {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return FormatEdgeList
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "%%MatrixMarket":
+			return FormatMatrixMarket
+		case "c", "p", "e":
+			return FormatDIMACS
+		default:
+			if strings.HasPrefix(fields[0], "%") {
+				return FormatMatrixMarket
+			}
+			return FormatEdgeList
+		}
+	}
+	return FormatEdgeList
+}
+
+// ParseGraph auto-detects the format of a graph file and parses it into a
+// CSR. Every spelling of the same edge set — DIMACS, Matrix Market, edge
+// list, any edge order, with or without duplicates — parses to an
+// identical CSR, which is what lets ContentKey dedup file-vs-inline specs.
+func ParseGraph(data []byte) (*CSR, Format, error) {
+	f := DetectFormat(data)
+	var (
+		g   *CSR
+		err error
+	)
+	switch f {
+	case FormatDIMACS:
+		g, err = ParseDIMACS(data)
+	case FormatMatrixMarket:
+		g, err = ParseMatrixMarket(data)
+	default:
+		g, err = ParseEdgeList(data)
+	}
+	return g, f, err
+}
+
+// ParseDIMACS parses a DIMACS coloring file: 'c' comment lines, one
+// "p edge <n> <m>" problem line, then 1-indexed "e <u> <v>" edge lines.
+// Duplicate edges (including both-direction spellings) are tolerated and
+// deduplicated; self loops are rejected — a graph with a self loop has no
+// proper coloring. The declared edge count is not enforced: published
+// benchmark files are routinely off by their duplicate edges.
+func ParseDIMACS(data []byte) (*CSR, error) {
+	sc := newLineScanner(data)
+	n := -1
+	var edges [][2]int32
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			// comment
+		case "p":
+			if n >= 0 {
+				return nil, fmt.Errorf("graph: dimacs line %d: duplicate problem line", line)
+			}
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("graph: dimacs line %d: malformed problem line", line)
+			}
+			pn, err := parseVertexCount(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+			if _, err := strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad edge count %q", line, fields[3])
+			}
+			n = pn
+		case "e":
+			if n < 0 {
+				return nil, fmt.Errorf("graph: dimacs line %d: edge before problem line", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: dimacs line %d: malformed edge line", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: non-numeric edge", line)
+			}
+			if u < 1 || v < 1 || u > n || v > n {
+				return nil, fmt.Errorf("graph: dimacs line %d: edge (%d,%d) outside [1,%d]", line, u, v, n)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: dimacs line %d: self loop at %d", line, u)
+			}
+			edges = append(edges, orderedEdge(int32(u-1), int32(v-1)))
+		default:
+			return nil, fmt.Errorf("graph: dimacs line %d: unknown line type %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: dimacs: %v", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: dimacs: no problem line")
+	}
+	return fromDedupedEdges(n, edges)
+}
+
+// ParseMatrixMarket parses a Matrix Market coordinate file as an undirected
+// graph: the "%%MatrixMarket matrix coordinate ..." banner, '%' comments, a
+// "<rows> <cols> <nnz>" size line, then 1-indexed "i j [value]" entries.
+// The matrix must be square; diagonal entries (self loops) are skipped, as
+// adjacency matrices commonly store them, and symmetric duplicates are
+// deduplicated. Pattern, real, and integer fields all parse — values are
+// ignored, only the sparsity pattern matters for coloring.
+func ParseMatrixMarket(data []byte) (*CSR, error) {
+	sc := newLineScanner(data)
+	line := 0
+	// Banner: optional in practice (some files only carry '%' comments),
+	// but when present must declare a coordinate matrix.
+	sawSize := false
+	n := -1
+	var edges [][2]int32
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.HasPrefix(fields[0], "%") {
+			if fields[0] == "%%MatrixMarket" {
+				if len(fields) < 3 || !strings.EqualFold(fields[1], "matrix") || !strings.EqualFold(fields[2], "coordinate") {
+					return nil, fmt.Errorf("graph: matrixmarket line %d: only coordinate matrices parse as graphs", line)
+				}
+			}
+			continue
+		}
+		if !sawSize {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: matrixmarket line %d: malformed size line", line)
+			}
+			rows, err1 := parseVertexCount(fields[0])
+			cols, err2 := parseVertexCount(fields[1])
+			if err1 != nil {
+				return nil, fmt.Errorf("graph: matrixmarket line %d: %v", line, err1)
+			}
+			if err2 != nil {
+				return nil, fmt.Errorf("graph: matrixmarket line %d: %v", line, err2)
+			}
+			if rows != cols {
+				return nil, fmt.Errorf("graph: matrixmarket line %d: %dx%d matrix is not square", line, rows, cols)
+			}
+			if _, err := strconv.ParseInt(fields[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("graph: matrixmarket line %d: bad entry count %q", line, fields[2])
+			}
+			n = rows
+			sawSize = true
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: matrixmarket line %d: malformed entry", line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: matrixmarket line %d: non-numeric entry", line)
+		}
+		if u < 1 || v < 1 || u > n || v > n {
+			return nil, fmt.Errorf("graph: matrixmarket line %d: entry (%d,%d) outside [1,%d]", line, u, v, n)
+		}
+		if u == v {
+			continue // diagonal: not an edge
+		}
+		edges = append(edges, orderedEdge(int32(u-1), int32(v-1)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: matrixmarket: %v", err)
+	}
+	if !sawSize {
+		return nil, fmt.Errorf("graph: matrixmarket: no size line")
+	}
+	return fromDedupedEdges(n, edges)
+}
+
+// ParseEdgeList parses a whitespace edge list: one 0-indexed "u v" pair per
+// line, '#' comments, blank lines ignored. The vertex count is inferred as
+// max id + 1, unless a "# vertices <n>" header comment (the WriteEdgeList
+// convention) declares a larger count — that is how trailing isolated
+// vertices survive a round trip. Duplicate edges are deduplicated; self
+// loops are rejected.
+func ParseEdgeList(data []byte) (*CSR, error) {
+	sc := newLineScanner(data)
+	line := 0
+	n := 0
+	var edges [][2]int32
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			if cf := strings.Fields(text[i+1:]); len(cf) >= 2 && cf[0] == "vertices" {
+				if declared, err := parseVertexCount(cf[1]); err == nil && declared > n {
+					n = declared
+				}
+			}
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edgelist line %d: want \"u v\", got %q", line, sc.Text())
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: edgelist line %d: non-numeric edge", line)
+		}
+		if u < 0 || v < 0 || u >= maxParseVertices || v >= maxParseVertices {
+			return nil, fmt.Errorf("graph: edgelist line %d: vertex id outside [0,%d)", line, maxParseVertices)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: edgelist line %d: self loop at %d", line, u)
+		}
+		if u >= n {
+			n = u + 1
+		}
+		if v >= n {
+			n = v + 1
+		}
+		edges = append(edges, orderedEdge(int32(u), int32(v)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: edgelist: %v", err)
+	}
+	return fromDedupedEdges(n, edges)
+}
+
+// WriteDIMACS renders a CSR as a DIMACS coloring file (1-indexed, each
+// edge once with u < v). ParseDIMACS(WriteDIMACS(g)) is bit-identical to g.
+func WriteDIMACS(g *CSR) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "p edge %d %d\n", g.N, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				fmt.Fprintf(&b, "e %d %d\n", u+1, v+1)
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+// WriteEdgeList renders a CSR as a 0-indexed whitespace edge list (each
+// edge once with u < v), with a header comment carrying the vertex count so
+// trailing isolated vertices survive the round trip.
+func WriteEdgeList(g *CSR) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# vertices %d edges %d\n", g.N, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				fmt.Fprintf(&b, "%d %d\n", u, v)
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+// ContentKey derives the canonical content address of a graph:
+// "csr:<n>:<m>:<16 hex chars of sha256 over the sorted edge list>". Two
+// files spelling the same edge set — different formats, orders, duplicate
+// edges — share one key, so jobspec canonicalization dedups them into one
+// job id.
+func ContentKey(g *CSR) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N))
+	h.Write(buf[:])
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				binary.LittleEndian.PutUint32(buf[:4], uint32(u))
+				binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+				h.Write(buf[:])
+			}
+		}
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("csr:%d:%d:%s", g.N, g.NumEdges(), hex.EncodeToString(sum[:8]))
+}
+
+// ParseContentKey splits a "csr:<n>:<m>:<hash>" content key into its vertex
+// count, edge count, and hash, validating the shape.
+func ParseContentKey(key string) (n int, m int64, hash string, err error) {
+	parts := strings.Split(key, ":")
+	if len(parts) != 4 || parts[0] != "csr" {
+		return 0, 0, "", fmt.Errorf("graph: malformed content key %q", key)
+	}
+	n, err = strconv.Atoi(parts[1])
+	if err != nil || n < 0 {
+		return 0, 0, "", fmt.Errorf("graph: content key %q: bad vertex count", key)
+	}
+	m, err = strconv.ParseInt(parts[2], 10, 64)
+	if err != nil || m < 0 {
+		return 0, 0, "", fmt.Errorf("graph: content key %q: bad edge count", key)
+	}
+	hash = parts[3]
+	if len(hash) != 16 {
+		return 0, 0, "", fmt.Errorf("graph: content key %q: bad hash length", key)
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return 0, 0, "", fmt.Errorf("graph: content key %q: non-hex hash", key)
+	}
+	return n, m, hash, nil
+}
+
+func parseVertexCount(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad vertex count %q", s)
+	}
+	if n > maxParseVertices {
+		return 0, fmt.Errorf("vertex count %d exceeds the %d parse limit", n, maxParseVertices)
+	}
+	return n, nil
+}
+
+func orderedEdge(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// fromDedupedEdges sorts, deduplicates, and assembles parsed edges into a
+// CSR — the single exit every parser shares, so format quirks (duplicate
+// edges, both-direction spellings) never reach FromEdges' strictness.
+func fromDedupedEdges(n int, edges [][2]int32) (*CSR, error) {
+	slices.SortFunc(edges, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0]) - int(b[0])
+		}
+		return int(a[1]) - int(b[1])
+	})
+	edges = slices.Compact(edges)
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %v", err)
+	}
+	return g, nil
+}
+
+func newLineScanner(data []byte) *bufio.Scanner {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return sc
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzCheckParsed validates whatever a parser accepted: the CSR must pass
+// the structural invariants, and writing it back out and re-parsing must be
+// bit-identical (the canonicalization the content key depends on).
+func fuzzCheckParsed(t *testing.T, g *CSR) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("accepted graph fails Validate: %v", err)
+	}
+	back, err := ParseDIMACS(WriteDIMACS(g))
+	if err != nil {
+		t.Fatalf("rewrite did not reparse: %v", err)
+	}
+	if !reflect.DeepEqual(g, back) {
+		t.Fatal("rewrite round trip not bit-identical")
+	}
+	if ContentKey(g) != ContentKey(back) {
+		t.Fatal("content key unstable across round trip")
+	}
+}
+
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add([]byte("p edge 4 6\ne 1 2\ne 1 3\ne 1 4\ne 2 3\ne 2 4\ne 3 4\n"))
+	f.Add([]byte("c comment only\nc nothing else\n"))
+	f.Add([]byte("p edge 3 2\ne 1 2\ne 2 3"))   // truncated final newline
+	f.Add([]byte("p edge 3 2\ne 1 2\ne "))      // truncated edge line
+	f.Add([]byte("p edge 2 1\ne 0 1\n"))        // 0-indexed spelling (invalid here)
+	f.Add([]byte("p edge 2 1\ne 2 1\ne 1 2\n")) // both directions
+	f.Add([]byte("p edge 0 0\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ParseDIMACS(data)
+		if err != nil {
+			return
+		}
+		fuzzCheckParsed(t, g)
+	})
+}
+
+func FuzzParseMatrixMarket(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 1\n4 2\n"))
+	f.Add([]byte("% comment only\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 5.0\n2 3 -1\n"))
+	f.Add([]byte("3 3 1\n1 2\n"))     // size line without banner
+	f.Add([]byte("3 3 1\n0 1\n"))     // 0-indexed spelling (invalid here)
+	f.Add([]byte("3 3 2\n1 2\n1 2€")) // truncated/garbled tail
+	f.Add([]byte("2 2 1\n1 1\n"))     // diagonal only
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ParseMatrixMarket(data)
+		if err != nil {
+			return
+		}
+		fuzzCheckParsed(t, g)
+	})
+}
+
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n5 3\n"))
+	f.Add([]byte("0 1"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ParseEdgeList(data)
+		if err != nil {
+			return
+		}
+		fuzzCheckParsed(t, g)
+	})
+}

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func readTestdata(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+func TestParseGraphGolden(t *testing.T) {
+	cases := []struct {
+		file   string
+		format Format
+		n      int
+		m      int64
+	}{
+		{"k4.col", FormatDIMACS, 4, 6},
+		{"k4.mtx", FormatMatrixMarket, 4, 6},
+		{"k4.edges", FormatEdgeList, 4, 6},
+		{"petersen.col", FormatDIMACS, 10, 15},
+		{"star.mtx", FormatMatrixMarket, 5, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			g, f, err := ParseGraph(readTestdata(t, c.file))
+			if err != nil {
+				t.Fatalf("ParseGraph: %v", err)
+			}
+			if f != c.format {
+				t.Errorf("detected format %q, want %q", f, c.format)
+			}
+			if g.N != c.n || g.NumEdges() != c.m {
+				t.Errorf("parsed %d vertices %d edges, want %d/%d", g.N, g.NumEdges(), c.n, c.m)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseGraphCrossFormatIdentity(t *testing.T) {
+	var graphs []*CSR
+	var keys []string
+	for _, file := range []string{"k4.col", "k4.mtx", "k4.edges"} {
+		g, _, err := ParseGraph(readTestdata(t, file))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		graphs = append(graphs, g)
+		keys = append(keys, ContentKey(g))
+	}
+	for i := 1; i < len(graphs); i++ {
+		if !reflect.DeepEqual(graphs[0], graphs[i]) {
+			t.Errorf("CSR %d differs from CSR 0", i)
+		}
+		if keys[i] != keys[0] {
+			t.Errorf("content key %d = %q, want %q", i, keys[i], keys[0])
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	g, _, err := ParseGraph(readTestdata(t, "petersen.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDIMACS(WriteDIMACS(g))
+	if err != nil {
+		t.Fatalf("reparse dimacs: %v", err)
+	}
+	if !reflect.DeepEqual(g, d) {
+		t.Error("DIMACS round trip not bit-identical")
+	}
+	e, err := ParseEdgeList(WriteEdgeList(g))
+	if err != nil {
+		t.Fatalf("reparse edgelist: %v", err)
+	}
+	if !reflect.DeepEqual(g, e) {
+		t.Error("edge-list round trip not bit-identical")
+	}
+}
+
+func TestWriteEdgeListIsolatedTail(t *testing.T) {
+	// A trailing isolated vertex must survive the round trip even though
+	// the format infers n from the largest id seen.
+	g, err := FromEdges(5, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(WriteEdgeList(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 5 || back.NumEdges() != 2 {
+		t.Fatalf("round trip gave n=%d m=%d, want n=5 m=2", back.N, back.NumEdges())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":  "e 1 2\n",
+		"missing header":   "c just comments\n",
+		"self loop":        "p edge 3 1\ne 2 2\n",
+		"out of range":     "p edge 3 1\ne 1 4\n",
+		"non-numeric":      "p edge 3 1\ne one two\n",
+		"duplicate p":      "p edge 3 1\np edge 3 1\n",
+		"unknown type":     "p edge 3 1\nx 1 2\n",
+		"oversized header": "p edge 99999999999 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseDIMACS([]byte(input)); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestParseMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"banner only":    "%%MatrixMarket matrix coordinate pattern general\n",
+		"not square":     "%%MatrixMarket matrix coordinate pattern general\n3 4 1\n1 2\n",
+		"dense banner":   "%%MatrixMarket matrix array real general\n3 3\n",
+		"out of range":   "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 9\n",
+		"short entry":    "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1\n",
+		"huge dimension": "%%MatrixMarket matrix coordinate pattern general\n99999999999 99999999999 0\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseMatrixMarket([]byte(input)); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"self loop":   "3 3\n",
+		"negative":    "-1 2\n",
+		"single id":   "7\n",
+		"non-numeric": "a b\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseEdgeList([]byte(input)); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+	// Empty input is a valid empty graph.
+	g, err := ParseEdgeList(nil)
+	if err != nil || g.N != 0 {
+		t.Errorf("empty edge list: g=%+v err=%v", g, err)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		input string
+		want  Format
+	}{
+		{"%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n", FormatMatrixMarket},
+		{"% bare percent comment\n2 2 1\n1 2\n", FormatMatrixMarket},
+		{"c comment first\np edge 2 1\ne 1 2\n", FormatDIMACS},
+		{"p edge 2 1\ne 1 2\n", FormatDIMACS},
+		{"0 1\n", FormatEdgeList},
+		{"# comment\n0 1\n", FormatEdgeList},
+		{"", FormatEdgeList},
+	}
+	for _, c := range cases {
+		if got := DetectFormat([]byte(c.input)); got != c.want {
+			t.Errorf("DetectFormat(%q) = %q, want %q", c.input, got, c.want)
+		}
+	}
+}
+
+func TestContentKeyParse(t *testing.T) {
+	g, _, err := ParseGraph(readTestdata(t, "petersen.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ContentKey(g)
+	if !strings.HasPrefix(key, "csr:10:15:") {
+		t.Fatalf("content key %q lacks csr:n:m prefix", key)
+	}
+	n, m, hash, err := ParseContentKey(key)
+	if err != nil || n != 10 || m != 15 || len(hash) != 16 {
+		t.Fatalf("ParseContentKey(%q) = %d,%d,%q,%v", key, n, m, hash, err)
+	}
+	for _, bad := range []string{"", "csr:10:15", "csr:x:15:0011223344556677", "csr:10:15:zz11223344556677", "csr:10:15:00112233", "foo:10:15:0011223344556677"} {
+		if _, _, _, err := ParseContentKey(bad); err == nil {
+			t.Errorf("ParseContentKey(%q): want error", bad)
+		}
+	}
+}
+
+func TestSquareOracle(t *testing.T) {
+	// Path 0-1-2-3: distance-2 adds {0,2} and {1,3} but not {0,3}.
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := NewSquare(g)
+	want := map[[2]int]bool{
+		{0, 1}: true, {1, 2}: true, {2, 3}: true,
+		{0, 2}: true, {1, 3}: true,
+		{0, 3}: false,
+	}
+	for pair, adj := range want {
+		if sq.HasEdge(pair[0], pair[1]) != adj || sq.HasEdge(pair[1], pair[0]) != adj {
+			t.Errorf("Square.HasEdge%v = %v, want %v", pair, !adj, adj)
+		}
+	}
+	if sq.HasEdge(1, 1) || sq.HasEdge(-1, 2) || sq.HasEdge(0, 4) {
+		t.Error("Square.HasEdge accepted a degenerate pair")
+	}
+	// The batched row must agree with the scalar path everywhere.
+	vs := []int32{0, 1, 2, 3}
+	out := make([]bool, len(vs))
+	for u := 0; u < 4; u++ {
+		sq.HasEdgeRow(u, vs, out)
+		for k, v := range vs {
+			if out[k] != sq.HasEdge(u, int(v)) {
+				t.Errorf("HasEdgeRow(%d)[%d] = %v, disagrees with HasEdge", u, v, out[k])
+			}
+		}
+	}
+}
+
+func TestVerifyEquitable(t *testing.T) {
+	if err := VerifyEquitable(Coloring{0, 1, 0, 1}); err != nil {
+		t.Errorf("balanced: %v", err)
+	}
+	if err := VerifyEquitable(Coloring{0, 1, 0, 1, 0}); err != nil {
+		t.Errorf("within one: %v", err)
+	}
+	if err := VerifyEquitable(Coloring{0, 0, 0, 1}); err == nil {
+		t.Error("spread 2: want error")
+	}
+	if err := VerifyEquitable(Coloring{0, Uncolored}); err == nil {
+		t.Error("uncolored: want error")
+	}
+	if err := VerifyEquitable(Coloring{}); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func BenchmarkGraphParse(b *testing.B) {
+	// A queen-12 sized DIMACS body: representative of the classic
+	// benchmark files the graph input kind serves.
+	var edges [][2]int32
+	const rows, cols = 12, 12
+	n := rows * cols
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			r1, c1 := u/cols, u%cols
+			r2, c2 := v/cols, v%cols
+			if r1 == r2 || c1 == c2 || r1-r2 == c1-c2 || r1-r2 == c2-c1 {
+				edges = append(edges, [2]int32{int32(u), int32(v)})
+			}
+		}
+	}
+	queen, err := FromEdges(n, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := WriteDIMACS(queen)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, _, err := ParseGraph(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if parsed.N != n {
+			b.Fatal("wrong parse")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import "sync"
+
+// Square is the distance-2 view of an explicit graph: u and v are adjacent
+// when they are within two hops of each other in G. Coloring Square(G) is
+// distance-2 (strong) coloring of G — no vertex shares a color with any
+// neighbor or neighbor-of-neighbor. The view is never materialized: edge
+// tests intersect the CSR's sorted neighbor lists, and the batched row
+// path stamps u's two-hop ball once per row, so the conflict kernel's
+// per-row candidate scans stay cheap.
+type Square struct {
+	G *CSR
+
+	// stamps pools the two-hop marker arrays HasEdgeRow builds, one per
+	// concurrent caller — the parallel conflict builders batch rows from
+	// many goroutines at once.
+	stamps sync.Pool
+}
+
+// NewSquare wraps a CSR in its distance-2 view.
+func NewSquare(g *CSR) *Square {
+	s := &Square{G: g}
+	s.stamps.New = func() any { return make([]bool, g.N) }
+	return s
+}
+
+// NumVertices returns the vertex count of the underlying graph.
+func (s *Square) NumVertices() int { return s.G.N }
+
+// HasEdge reports whether u and v are within distance two: directly
+// adjacent, or sharing at least one common neighbor (merged scan of the
+// two sorted adjacency lists).
+func (s *Square) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= s.G.N || v >= s.G.N {
+		return false
+	}
+	if s.G.HasEdge(u, v) {
+		return true
+	}
+	a, b := s.G.Neighbors(u), s.G.Neighbors(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdgeRow answers a whole candidate row at once (RowOracle): u's
+// two-hop ball is marked a single time — O(Σ_{w∈N(u)} deg(w)) — and every
+// candidate tests in O(1), instead of len(vs) independent list merges.
+// This is the batch path the conflict kernel drives through
+// backend.AsBatch.
+func (s *Square) HasEdgeRow(u int, vs []int32, out []bool) {
+	if u < 0 || u >= s.G.N {
+		for k := range vs {
+			out[k] = false
+		}
+		return
+	}
+	marked := s.stamps.Get().([]bool)
+	touched := make([]int32, 0, 64)
+	for _, w := range s.G.Neighbors(u) {
+		if !marked[w] {
+			marked[w] = true
+			touched = append(touched, w)
+		}
+		for _, x := range s.G.Neighbors(int(w)) {
+			if !marked[x] {
+				marked[x] = true
+				touched = append(touched, x)
+			}
+		}
+	}
+	for k, v := range vs {
+		out[k] = int(v) != u && v >= 0 && int(v) < s.G.N && marked[v]
+	}
+	for _, w := range touched {
+		marked[w] = false
+	}
+	s.stamps.Put(marked)
+}

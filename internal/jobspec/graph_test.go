@@ -1,0 +1,186 @@
+package jobspec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"picasso"
+	"picasso/internal/workload"
+)
+
+// Three spellings of the triangle: DIMACS, Matrix Market, edge list.
+const (
+	triangleDIMACS   = "c the triangle\np edge 3 3\ne 1 2\ne 2 3\ne 1 3\n"
+	triangleEdgeList = "0 1\n1 2\n0 2\n"
+)
+
+// TestGraphSpecFileVsInline is the dedup acceptance check: every spelling
+// of the same edge set — any format, any edge order — normalizes to one
+// canonical string, and therefore one job id and one artifact.
+func TestGraphSpecFileVsInline(t *testing.T) {
+	a := Spec{GraphData: triangleDIMACS, Seed: 3}
+	b := Spec{GraphData: triangleEdgeList, Seed: 3}
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("DIMACS and edge-list spellings canonicalize apart:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	if !strings.HasPrefix(a.Graph, "csr:") || a.GraphData != "" {
+		t.Fatalf("payload did not collapse to a content key: graph=%q graph_data=%q", a.Graph, a.GraphData)
+	}
+	if a.GraphCSR() == nil {
+		t.Fatal("parsed CSR did not ride along")
+	}
+	if n := a.NumVertices(); n != 3 {
+		t.Fatalf("NumVertices = %d, want 3", n)
+	}
+
+	// Normalize is idempotent and keeps the attached payload.
+	before := a.Canonical()
+	if err := a.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != before || a.GraphCSR() == nil {
+		t.Fatal("second Normalize changed the spec or dropped the payload")
+	}
+
+	// The canonical form round-trips without the payload: the content key
+	// still sizes the job, but the edge data must come back via AttachGraph
+	// (the artifact-recovery path) before the input can build.
+	back, err := ParseCanonical(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GraphCSR() != nil {
+		t.Fatal("round-tripped spec conjured edge data from the content key")
+	}
+	if n := back.NumVertices(); n != 3 {
+		t.Fatalf("payload-less NumVertices = %d, want 3 (from the content key)", n)
+	}
+	if _, _, err := back.BuildInput(); err == nil || !strings.Contains(err.Error(), "graph_data") {
+		t.Fatalf("payload-less build error %v does not say what is missing", err)
+	}
+	if err := back.AttachGraph(a.GraphCSR()); err != nil {
+		t.Fatal(err)
+	}
+	oracle, set, err := back.BuildInput()
+	if err != nil || set != nil {
+		t.Fatalf("BuildInput after AttachGraph: oracle, %v, %v", set, err)
+	}
+	if oracle.NumVertices() != 3 || !oracle.HasEdge(0, 2) {
+		t.Fatal("recovered oracle is not the triangle")
+	}
+
+	// Attaching content that hashes differently is rejected.
+	wrong, _, err := workload.LookupGraph("queen3_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.AttachGraph(wrong); err == nil {
+		t.Fatal("mismatched AttachGraph accepted")
+	}
+}
+
+func TestGraphSpecBenchmark(t *testing.T) {
+	s := Spec{Graph: " Queen5_5 ", Seed: 1}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph != "queen5_5" {
+		t.Fatalf("benchmark name canonicalized to %q", s.Graph)
+	}
+	if n := s.NumVertices(); n != 25 {
+		t.Fatalf("NumVertices = %d, want 25", n)
+	}
+	oracle, set, err := s.BuildInput()
+	if err != nil || set != nil {
+		t.Fatalf("BuildInput: %v, %v", set, err)
+	}
+	if oracle.NumVertices() != 25 {
+		t.Fatalf("built %d vertices, want 25", oracle.NumVertices())
+	}
+	if s.GraphCSR() == nil {
+		t.Fatal("benchmark build did not cache the CSR on the spec")
+	}
+
+	bad := Spec{Graph: "quen5_5", Seed: 1}
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "queen5_5") {
+		t.Fatalf("misspelled benchmark error %v lacks the did-you-mean", err)
+	}
+}
+
+// TestBadInputTyped pins the ErrBadInput contract the service's typed 400
+// depends on: zero or multiple input kinds are ErrBadInput; every other
+// validation failure is not.
+func TestBadInputTyped(t *testing.T) {
+	none := Spec{}
+	if err := none.Normalize(); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no-input error %v is not ErrBadInput", err)
+	}
+	both := Spec{Random: "10:0.5", Graph: "queen5_5"}
+	err := both.Normalize()
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("two-input error %v is not ErrBadInput", err)
+	}
+	if !strings.Contains(err.Error(), "random") || !strings.Contains(err.Error(), "graph") {
+		t.Fatalf("two-input error %v does not name the conflicting kinds", err)
+	}
+	valueErr := Spec{Random: "not-a-spec"}
+	if err := valueErr.Normalize(); err == nil || errors.Is(err, ErrBadInput) {
+		t.Fatalf("value error %v must not be ErrBadInput", err)
+	}
+}
+
+func TestVariantSpec(t *testing.T) {
+	s := Spec{Random: "100:0.5", Variant: " Equitable "}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Variant != "equitable" {
+		t.Fatalf("variant canonicalized to %q", s.Variant)
+	}
+	if got := s.Options().Variant; got != picasso.VariantEquitable {
+		t.Fatalf("Options().Variant = %q", got)
+	}
+
+	if err := (&Spec{Random: "100:0.5", Variant: "distance2"}).Normalize(); err == nil ||
+		!strings.Contains(err.Error(), "graph input") {
+		t.Fatalf("distance2 on a random input: %v", err)
+	}
+	if err := (&Spec{Random: "100:0.5", Variant: "rainbow"}).Normalize(); err == nil ||
+		!strings.Contains(err.Error(), "variant") {
+		t.Fatalf("unknown variant: %v", err)
+	}
+
+	// distance2 on a graph input builds the square: the path 0–1–2 gains
+	// the two-hop edge {0, 2}.
+	d2 := Spec{GraphData: "0 1\n1 2\n", Variant: "distance2", Seed: 1}
+	if err := d2.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	oracle, _, err := d2.BuildInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.HasEdge(0, 2) {
+		t.Fatal("distance2 build did not square the graph")
+	}
+	if base := d2.GraphCSR(); base == nil || base.HasEdge(0, 2) {
+		t.Fatal("GraphCSR must stay the unsquared base graph")
+	}
+
+	// The variant is part of the job identity: same input, different
+	// variant, different canonical string.
+	std := Spec{GraphData: "0 1\n1 2\n", Seed: 1}
+	if err := std.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if std.Canonical() == d2.Canonical() {
+		t.Fatal("variant does not separate job identities")
+	}
+}

@@ -1,6 +1,7 @@
 // Package jobspec is the shared description of one coloring job: which
-// input to color (a hashed random graph, a Table II molecule instance, or
-// raw Pauli strings) and which algorithm parameters to color it with. The
+// input to color (a hashed random graph, a Table II molecule instance, raw
+// Pauli strings, or a general graph — a file payload or a benchmark-family
+// name), which coloring variant, and which algorithm parameters. The
 // picasso CLI builds a Spec from flags, the coloring service decodes one
 // from a JSON request body, and both feed it through the same Normalize /
 // Options / BuildInput path — so a job means exactly the same thing whether
@@ -30,8 +31,7 @@ import (
 	"time"
 
 	"picasso"
-	"picasso/internal/chem"
-	"picasso/internal/workload"
+	"picasso/internal/graph"
 )
 
 // Input-mode names accepted in Spec.Mode.
@@ -41,8 +41,9 @@ const (
 	ModeCustom     = "custom"
 )
 
-// Spec describes one coloring job. Exactly one of Random, Instance, Strings
-// selects the input; the remaining fields parameterize the run. The zero
+// Spec describes one coloring job. Exactly one of the input kinds —
+// Random, Instance, Strings, Graph/GraphData — selects the input (see
+// resolveSource); the remaining fields parameterize the run. The zero
 // value of every parameter field means "default".
 type Spec struct {
 	// Random is a hashed Erdős–Rényi dense graph as "n:density",
@@ -54,6 +55,27 @@ type Spec struct {
 	// Strings is an inline Pauli-string payload, one letter string per
 	// entry ("IXYZ", ...).
 	Strings []string `json:"strings,omitempty"`
+	// Graph is a general-graph input: a benchmark-family name ("queen9_9",
+	// "myciel5", "reg4096") or — the canonical form of a file payload —
+	// its content key "csr:<n>:<m>:<hash>". A content-key spec carries no
+	// edge data itself; the payload arrives via GraphData, AttachGraph, or
+	// a persisted artifact.
+	Graph string `json:"graph,omitempty"`
+	// GraphData is an inline graph file payload (DIMACS .col, Matrix
+	// Market .mtx, or a whitespace edge list; format auto-detected).
+	// Normalize parses it and collapses it to its content key in Graph, so
+	// every spelling of the same edge set shares one canonical form.
+	GraphData string `json:"graph_data,omitempty"`
+	// Variant selects the coloring variant: "" (standard), "equitable"
+	// (class sizes within one of each other where the coloring permits),
+	// or "distance2" (two-hop conflicts; graph inputs only — the input is
+	// squared at build time).
+	Variant string `json:"variant,omitempty"`
+	// parsed is the materialized CSR of a graph input — populated by
+	// Normalize for inline payloads, by BuildInput for benchmark names,
+	// and by AttachGraph on artifact recovery. Never serialized: the
+	// canonical form carries the content key instead.
+	parsed *graph.CSR
 	// Target grows molecule instances toward this term count
 	// (0 = the instance's Table II target).
 	Target int `json:"target,omitempty"`
@@ -188,62 +210,26 @@ func (r *RefineSpec) Normalize() error {
 // mode are zeroed. After Normalize, two specs describe the same job iff
 // their Canonical strings are equal.
 func (s *Spec) Normalize() error {
-	sources := 0
-	if s.Random != "" {
-		sources++
+	src, err := s.resolveSource()
+	if err != nil {
+		return err
 	}
-	if s.Instance != "" {
-		sources++
-	}
-	if len(s.Strings) > 0 {
-		sources++
-	}
-	if sources == 0 {
-		return fmt.Errorf("jobspec: no input: set one of random, instance, strings")
-	}
-	if sources > 1 {
-		return fmt.Errorf("jobspec: ambiguous input: set exactly one of random, instance, strings")
-	}
-
-	if s.Random != "" {
-		n, d, err := ParseRandom(s.Random)
-		if err != nil {
-			return err
-		}
-		// Canonical "n:density" spelling: trimmed integer, shortest float.
-		s.Random = fmt.Sprintf("%d:%s", n, strconv.FormatFloat(d, 'g', -1, 64))
-		if s.Target != 0 {
-			return fmt.Errorf("jobspec: target applies only to molecule instances")
-		}
-	}
-	if s.Instance != "" {
-		inst, lookupErr := workload.Lookup(s.Instance)
-		if lookupErr == nil {
-			s.Instance = inst.Name
-		} else if _, parseErr := chem.ParseMolecule(s.Instance); parseErr == nil {
-			// Not a Table II row but a well-formed hydrogen system ("H2 1D
-			// sto3g"): accept it, normalized only in spacing — the chem
-			// substrate can build any Hn instance.
-			s.Instance = strings.Join(strings.Fields(s.Instance), " ")
-		} else {
-			// Neither: surface the Table II "did you mean" message.
-			return lookupErr
-		}
+	if err := src.normalize(s); err != nil {
+		return err
 	}
 	if s.Target < 0 {
 		return fmt.Errorf("jobspec: negative target %d", s.Target)
 	}
-	if len(s.Strings) > 0 {
-		if s.Target != 0 {
-			return fmt.Errorf("jobspec: target applies only to molecule instances")
+
+	s.Variant = strings.ToLower(strings.TrimSpace(s.Variant))
+	switch picasso.Variant(s.Variant) {
+	case picasso.VariantStandard, picasso.VariantEquitable:
+	case picasso.VariantDistance2:
+		if src.kind() != "graph" {
+			return fmt.Errorf("jobspec: variant %q needs a graph input (the square is built from the materialized graph)", s.Variant)
 		}
-		for i, str := range s.Strings {
-			t := strings.TrimSpace(str)
-			if t == "" {
-				return fmt.Errorf("jobspec: string %d is empty", i)
-			}
-			s.Strings[i] = t
-		}
+	default:
+		return fmt.Errorf("jobspec: unknown variant %q (want equitable | distance2)", s.Variant)
 	}
 
 	if s.Mode == "" {
@@ -465,68 +451,55 @@ func (s Spec) Options() picasso.Options {
 	opts.MemoryBudgetBytes = s.BudgetBytes()
 	opts.PipelineShards = s.Pipeline
 	opts.Speculate = s.Speculate
+	opts.Variant = picasso.Variant(s.Variant)
 	return opts
 }
 
 // NumVertices reports the job's input size: the vertex count for random
-// graphs, the string count for inline payloads, and the growth target (an
-// upper bound on the built size) for molecule instances. Admission control
-// in the service sizes its limits against this.
+// and general graphs, the string count for inline payloads, and the growth
+// target (an upper bound on the built size) for molecule instances.
+// Admission control in the service sizes its limits against this.
 func (s Spec) NumVertices() int {
-	switch {
-	case s.Random != "":
-		n, _, err := ParseRandom(s.Random)
-		if err != nil {
-			return 0
-		}
-		return n
-	case len(s.Strings) > 0:
-		return len(s.Strings)
-	case s.Instance != "":
-		if s.Target > 0 {
-			return s.Target
-		}
-		if inst, err := workload.Lookup(s.Instance); err == nil {
-			return inst.TargetTerms()
-		}
-		// Non-Table-II molecule with no target: the bare Hamiltonian size
-		// is unknown before the build.
+	src, err := s.resolveSource()
+	if err != nil {
 		return 0
 	}
-	return 0
+	return src.numVertices(&s)
 }
 
-// BuildInput materializes the job's input: an edge oracle for random
-// graphs, a Pauli set (plus its commutation oracle, built by the caller)
-// otherwise. Exactly one return is non-nil on success.
-func (s Spec) BuildInput() (picasso.Oracle, *picasso.PauliSet, error) {
-	switch {
-	case s.Random != "":
-		n, d, err := ParseRandom(s.Random)
-		if err != nil {
-			return nil, nil, err
-		}
-		return picasso.RandomGraph(n, d, uint64(s.Seed)), nil, nil
-	case s.Instance != "":
-		target := s.Target
-		if target == 0 {
-			if inst, err := workload.Lookup(s.Instance); err == nil {
-				target = inst.TargetTerms()
-			}
-		}
-		set, err := picasso.BuildMolecule(s.Instance, target)
-		if err != nil {
-			return nil, nil, err
-		}
-		return nil, set, nil
-	case len(s.Strings) > 0:
-		set, err := picasso.ParsePauliStrings(s.Strings)
-		if err != nil {
-			return nil, nil, err
-		}
-		return nil, set, nil
+// BuildInput materializes the job's input: an edge oracle for random and
+// general graphs (for variant "distance2", the squared graph), a Pauli set
+// (plus its commutation oracle, built by the caller) otherwise. Exactly one
+// return is non-nil on success. Graph benchmarks built here are cached on
+// the spec, so repeated builds reuse the CSR.
+func (s *Spec) BuildInput() (picasso.Oracle, *picasso.PauliSet, error) {
+	src, err := s.resolveSource()
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil, nil, fmt.Errorf("jobspec: no input source")
+	return src.build(s)
+}
+
+// GraphCSR returns the materialized base graph of a graph-input spec (nil
+// for other kinds, or while only the content key is known). The service
+// persists it into the job's artifact so a content-key spec remains
+// rebuildable from disk.
+func (s *Spec) GraphCSR() *graph.CSR { return s.parsed }
+
+// AttachGraph supplies the edge data behind a content-key graph spec — the
+// recovery path when the payload comes from a persisted artifact rather
+// than the request body. Content that does not hash to the spec's key is
+// rejected, so a corrupted artifact cannot silently recolor a different
+// graph.
+func (s *Spec) AttachGraph(g *graph.CSR) error {
+	if s.Graph == "" {
+		return fmt.Errorf("jobspec: attaching a graph to a non-graph spec")
+	}
+	if key := graph.ContentKey(g); s.Graph != key {
+		return fmt.Errorf("jobspec: attached graph %s does not match spec graph %q", key, s.Graph)
+	}
+	s.parsed = g
+	return nil
 }
 
 // ParseRandom parses an "n:density" random-graph spec.

@@ -1,0 +1,271 @@
+// The resolved input-source abstraction: every input kind a Spec can carry
+// is one inputSource, and the per-kind behavior — canonicalization, size
+// reporting, materialization — lives on it. Normalize, NumVertices and
+// BuildInput all dispatch through resolveSource, so adding an input kind
+// means adding one source here, not finding every scattered field check.
+package jobspec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"picasso"
+	"picasso/internal/chem"
+	"picasso/internal/graph"
+	"picasso/internal/workload"
+)
+
+// ErrBadInput marks a spec whose input-source selection itself is wrong —
+// none of the input kinds set, or more than one. The coloring service maps
+// it to the typed "bad_input" HTTP error code; every other validation
+// failure stays a generic invalid-spec error.
+var ErrBadInput = errors.New("bad input")
+
+// inputSource is one resolved input kind of a Spec.
+type inputSource interface {
+	// kind names the input kind in error messages and listings.
+	kind() string
+	// normalize canonicalizes the source's fields in place (see the
+	// Canonical invariant in the package comment).
+	normalize(s *Spec) error
+	// numVertices reports the input size (0 = unknown before the build).
+	numVertices(s *Spec) int
+	// build materializes the input: an edge oracle or a Pauli set.
+	build(s *Spec) (picasso.Oracle, *picasso.PauliSet, error)
+}
+
+// sourceKinds lists every input kind, in the order error messages and docs
+// spell them, with the predicate that detects it on a spec.
+var sourceKinds = []struct {
+	name string
+	set  func(*Spec) bool
+	src  inputSource
+}{
+	{"random", func(s *Spec) bool { return s.Random != "" }, randomSource{}},
+	{"instance", func(s *Spec) bool { return s.Instance != "" }, instanceSource{}},
+	{"strings", func(s *Spec) bool { return len(s.Strings) > 0 }, stringsSource{}},
+	{"graph", func(s *Spec) bool { return s.Graph != "" || s.GraphData != "" }, graphSource{}},
+}
+
+// resolveSource returns the spec's single input source. Zero or several set
+// kinds are ErrBadInput — the one validation family the service reports
+// with its own typed code, because it means the client composed the
+// request wrong rather than mistyping a value.
+func (s *Spec) resolveSource() (inputSource, error) {
+	var found inputSource
+	var names []string
+	for _, k := range sourceKinds {
+		if k.set(s) {
+			found = k.src
+			names = append(names, k.name)
+		}
+	}
+	switch len(names) {
+	case 0:
+		return nil, fmt.Errorf("jobspec: %w: no input: set one of random, instance, strings, graph", ErrBadInput)
+	case 1:
+		return found, nil
+	default:
+		return nil, fmt.Errorf("jobspec: %w: ambiguous input (%s): set exactly one of random, instance, strings, graph",
+			ErrBadInput, strings.Join(names, ", "))
+	}
+}
+
+// randomSource is a hashed Erdős–Rényi dense graph, "n:density".
+type randomSource struct{}
+
+func (randomSource) kind() string { return "random" }
+
+func (randomSource) normalize(s *Spec) error {
+	n, d, err := ParseRandom(s.Random)
+	if err != nil {
+		return err
+	}
+	// Canonical "n:density" spelling: trimmed integer, shortest float.
+	s.Random = fmt.Sprintf("%d:%s", n, strconv.FormatFloat(d, 'g', -1, 64))
+	if s.Target != 0 {
+		return fmt.Errorf("jobspec: target applies only to molecule instances")
+	}
+	return nil
+}
+
+func (randomSource) numVertices(s *Spec) int {
+	n, _, err := ParseRandom(s.Random)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func (randomSource) build(s *Spec) (picasso.Oracle, *picasso.PauliSet, error) {
+	n, d, err := ParseRandom(s.Random)
+	if err != nil {
+		return nil, nil, err
+	}
+	return picasso.RandomGraph(n, d, uint64(s.Seed)), nil, nil
+}
+
+// instanceSource is a molecule instance: a Table II row, or any well-formed
+// hydrogen system the chem substrate can build.
+type instanceSource struct{}
+
+func (instanceSource) kind() string { return "instance" }
+
+func (instanceSource) normalize(s *Spec) error {
+	inst, lookupErr := workload.Lookup(s.Instance)
+	if lookupErr == nil {
+		s.Instance = inst.Name
+	} else if _, parseErr := chem.ParseMolecule(s.Instance); parseErr == nil {
+		// Not a Table II row but a well-formed hydrogen system ("H2 1D
+		// sto3g"): accept it, normalized only in spacing — the chem
+		// substrate can build any Hn instance.
+		s.Instance = strings.Join(strings.Fields(s.Instance), " ")
+	} else {
+		// Neither: surface the Table II "did you mean" message.
+		return lookupErr
+	}
+	return nil
+}
+
+func (instanceSource) numVertices(s *Spec) int {
+	if s.Target > 0 {
+		return s.Target
+	}
+	if inst, err := workload.Lookup(s.Instance); err == nil {
+		return inst.TargetTerms()
+	}
+	// Non-Table-II molecule with no target: the bare Hamiltonian size is
+	// unknown before the build.
+	return 0
+}
+
+func (instanceSource) build(s *Spec) (picasso.Oracle, *picasso.PauliSet, error) {
+	target := s.Target
+	if target == 0 {
+		if inst, err := workload.Lookup(s.Instance); err == nil {
+			target = inst.TargetTerms()
+		}
+	}
+	set, err := picasso.BuildMolecule(s.Instance, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, set, nil
+}
+
+// stringsSource is an inline Pauli-string payload.
+type stringsSource struct{}
+
+func (stringsSource) kind() string { return "strings" }
+
+func (stringsSource) normalize(s *Spec) error {
+	if s.Target != 0 {
+		return fmt.Errorf("jobspec: target applies only to molecule instances")
+	}
+	for i, str := range s.Strings {
+		t := strings.TrimSpace(str)
+		if t == "" {
+			return fmt.Errorf("jobspec: string %d is empty", i)
+		}
+		s.Strings[i] = t
+	}
+	return nil
+}
+
+func (stringsSource) numVertices(s *Spec) int { return len(s.Strings) }
+
+func (stringsSource) build(s *Spec) (picasso.Oracle, *picasso.PauliSet, error) {
+	set, err := picasso.ParsePauliStrings(s.Strings)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, set, nil
+}
+
+// graphSource is a general graph: a benchmark-family name ("queen9_9"), an
+// inline file payload (GraphData: DIMACS, Matrix Market, or edge list), or
+// — after Normalize — the content key of a parsed payload.
+type graphSource struct{}
+
+func (graphSource) kind() string { return "graph" }
+
+func (graphSource) normalize(s *Spec) error {
+	if s.Target != 0 {
+		return fmt.Errorf("jobspec: target applies only to molecule instances")
+	}
+	if s.GraphData != "" {
+		g, _, err := graph.ParseGraph([]byte(s.GraphData))
+		if err != nil {
+			return fmt.Errorf("jobspec: parsing graph data: %w", err)
+		}
+		key := graph.ContentKey(g)
+		if s.Graph != "" && s.Graph != key {
+			return fmt.Errorf("jobspec: graph %q conflicts with the inline payload (content key %s); set only graph_data", s.Graph, key)
+		}
+		// Canonical form: the payload collapses to its content key, so the
+		// file-read and inline spellings of the same edge set share one
+		// canonical string — and therefore one job id and one artifact. The
+		// parsed CSR rides along unexported; a recovered content-key spec
+		// gets it back from the persisted artifact instead.
+		s.Graph, s.GraphData, s.parsed = key, "", g
+		return nil
+	}
+	if canonical, ok := workload.IsGraphBenchmark(s.Graph); ok {
+		s.Graph = canonical
+		return nil
+	}
+	if strings.HasPrefix(s.Graph, "csr:") {
+		// A content key without its payload: legal — the content comes from
+		// an earlier Normalize of this spec, an AttachGraph from a persisted
+		// artifact, or not at all (BuildInput then says what is missing).
+		if _, _, _, err := graph.ParseContentKey(s.Graph); err != nil {
+			return err
+		}
+		if s.parsed != nil && graph.ContentKey(s.parsed) != s.Graph {
+			return fmt.Errorf("jobspec: graph %q does not match the attached payload %s", s.Graph, graph.ContentKey(s.parsed))
+		}
+		return nil
+	}
+	// Neither a benchmark nor a content key: surface the registry's
+	// did-you-mean (or misrouted-molecule) message.
+	_, _, err := workload.LookupGraph(s.Graph)
+	return err
+}
+
+func (graphSource) numVertices(s *Spec) int {
+	if s.parsed != nil {
+		return s.parsed.N
+	}
+	if n, ok := workload.BenchmarkVertices(s.Graph); ok {
+		return n
+	}
+	if n, _, _, err := graph.ParseContentKey(s.Graph); err == nil {
+		return n
+	}
+	return 0
+}
+
+func (graphSource) build(s *Spec) (picasso.Oracle, *picasso.PauliSet, error) {
+	g := s.parsed
+	if g == nil {
+		if _, _, _, err := graph.ParseContentKey(s.Graph); err == nil {
+			return nil, nil, fmt.Errorf("jobspec: graph %s names content this spec does not carry: submit the file payload in graph_data, or run against the prepared artifact", s.Graph)
+		}
+		built, _, err := workload.LookupGraph(s.Graph)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Cache the generated instance: refine and retry re-builds of the
+		// same spec reuse the CSR instead of regenerating it.
+		g, s.parsed = built, built
+	}
+	if picasso.Variant(s.Variant) == picasso.VariantDistance2 {
+		// Distance-2 coloring is proper coloring of the square. Wrapping
+		// once here, at input build, keeps the engine variant-agnostic and
+		// lets the square's row oracle feed the batch kernel.
+		return graph.NewSquare(g), nil, nil
+	}
+	return g, nil, nil
+}

@@ -7,6 +7,7 @@ import (
 	"picasso"
 	"picasso/internal/artifact"
 	"picasso/internal/bucket"
+	"picasso/internal/graph"
 	"picasso/internal/jobspec"
 )
 
@@ -71,9 +72,13 @@ func (s *Server) persistArtifact(job *Job, set *picasso.PauliSet, groups [][]int
 		Meta:   blob,
 	}
 	if job.Append == nil && job.Refine == nil {
-		// The slab makes the artifact a prep artifact too: a restarted
-		// replica colors this spec again without re-parsing.
+		// The parsed input makes the artifact a prep artifact too: a
+		// restarted replica colors this spec again without re-parsing. Pauli
+		// jobs carry the slab; graph jobs carry the base CSR (which is also
+		// the only payload behind a content-key spec — without it a
+		// rehydrated graph job could never rebuild its input).
 		art.Set = set
+		art.Graph = job.Spec.GraphCSR()
 	}
 	if _, err := s.store.Put(art); err == nil {
 		s.mu.Lock()
@@ -192,22 +197,23 @@ func decodeMeta(art *artifact.Artifact) (artifactMeta, bool) {
 	return artifactMeta{Spec: spec}, true
 }
 
-// prepSet consults the disk tier for a parsed slab matching the job's
-// *base* spec — the prep half of the preprocess/serve split. Child jobs
+// prepInput consults the disk tier for a parsed input matching the job's
+// *base* spec — the prep half of the preprocess/serve split: the Pauli
+// slab for molecule/strings jobs, the base CSR for graph jobs. Child jobs
 // look up their base spec's artifact (their own canonical is a composite
-// key), which is exactly where the shared slab lives. Returns nil on miss.
-func (s *Server) prepSet(job *Job) *picasso.PauliSet {
+// key), which is exactly where the shared input lives. Both nil on miss.
+func (s *Server) prepInput(job *Job) (*picasso.PauliSet, *graph.CSR) {
 	if s.store == nil {
-		return nil
+		return nil, nil
 	}
 	art, err := s.store.Get(job.Spec.Canonical())
-	if err != nil || art.Set == nil {
-		return nil
+	if err != nil || (art.Set == nil && art.Graph == nil) {
+		return nil, nil
 	}
 	s.mu.Lock()
 	s.stats.artifactLoads++
 	s.mu.Unlock()
-	return art.Set
+	return art.Set, art.Graph
 }
 
 // groupsLen sums the vertices a group partition covers.

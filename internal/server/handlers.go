@@ -59,6 +59,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := spec.Normalize(); err != nil {
+		if errors.Is(err, jobspec.ErrBadInput) {
+			// The input-source selection itself is wrong (zero or several
+			// kinds set): typed, so clients distinguish a miscomposed
+			// request from a mistyped value.
+			writeErrorCode(w, http.StatusBadRequest, ErrCodeBadInput, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

@@ -51,6 +51,7 @@ type ResultSummary struct {
 	Vertices           int     `json:"vertices"`
 	NumColors          int     `json:"num_colors"`
 	NumGroups          int     `json:"num_groups"`
+	Variant            string  `json:"variant,omitempty"`
 	Iterations         int     `json:"iterations"`
 	MaxConflictEdges   int64   `json:"max_conflict_edges"`
 	TotalConflictEdges int64   `json:"total_conflict_edges"`
@@ -201,4 +202,8 @@ const (
 	// ErrCodeBadPortfolio marks a 400 whose portfolio block is invalid:
 	// non-positive entrants, or more entrants than this server allows.
 	ErrCodeBadPortfolio = "bad_portfolio"
+	// ErrCodeBadInput marks a 400 whose input-source selection is wrong:
+	// none of the input kinds (random, instance, strings, graph) set, or
+	// more than one — the request is composed wrong, not merely mistyped.
+	ErrCodeBadInput = "bad_input"
 )

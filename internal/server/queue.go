@@ -73,6 +73,7 @@ func (s *Server) run(job *Job, arena *picasso.Arena) {
 		// sees "done" may immediately restart the server against the same
 		// artifact dir and expect the disk tier to answer.
 		summary.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		summary.Variant = job.Spec.Variant // "" (omitted) for standard coloring
 		s.persistArtifact(job, set, groups, summary, finished)
 	}
 
@@ -363,12 +364,22 @@ func (s *Server) colorPortfolio(job *Job, opts picasso.Options, entrants int, or
 }
 
 // buildInput materializes a job's input, consulting the disk tier first: a
-// prep artifact matching the base spec hands back the parsed slab and skips
-// the parse entirely. Child jobs come through here too — their Spec is the
-// base spec, which is exactly the artifact that holds the shared slab.
+// prep artifact matching the base spec hands back the parsed input and
+// skips the parse entirely. Child jobs come through here too — their Spec
+// is the base spec, which is exactly the artifact that holds the shared
+// input. For graph jobs the prep hit is more than an optimization: a spec
+// rehydrated from its canonical string carries only the content key, and
+// the persisted CSR is the payload behind it (AttachGraph re-verifies the
+// content hash before the spec accepts it).
 func (s *Server) buildInput(job *Job) (picasso.Oracle, *picasso.PauliSet, error) {
-	if set := s.prepSet(job); set != nil {
+	set, g := s.prepInput(job)
+	if set != nil {
 		return nil, set, nil
+	}
+	if g != nil && job.Spec.GraphCSR() == nil {
+		// A mismatch is left for BuildInput to report: it names what is
+		// missing, while a silently wrong attach could never verify.
+		_ = job.Spec.AttachGraph(g)
 	}
 	return job.Spec.BuildInput()
 }

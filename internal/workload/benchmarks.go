@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+
+	"picasso/internal/graph"
+)
+
+// The classic coloring benchmark families, registered beside Table II: the
+// DIMACS queen and Mycielski graphs and a register-allocation-style
+// interval-interference generator. Names follow the DIMACS spellings —
+// "queen9_9", "myciel5" — plus "reg<n>" for the interference family; every
+// instance is generated deterministically, so a benchmark name in a job
+// spec is fully rebuildable (no file content travels with it).
+
+// Generation limits: a queen board axis, the Mycielski step count (edges
+// triple per step), and the interference-graph size.
+const (
+	maxQueenSide   = 256
+	maxMycielStep  = 14
+	maxRegVertices = 1 << 20
+)
+
+// regSeed fixes the interval generator, making "reg<n>" a pure function of
+// n — the name is the content.
+const regSeed = 0xC01012EC
+
+// GraphFamilies lists the benchmark family stems, with one exemplar
+// spelling each, for listings and did-you-mean suggestions.
+func GraphFamilies() []string {
+	return []string{"queen8_8", "myciel5", "reg1024"}
+}
+
+// QueenGraph is the n-queens graph on a rows×cols board: one vertex per
+// square, edges between squares sharing a row, column, or diagonal — the
+// DIMACS queenR_C family (queen placements = independent sets; colorings
+// partition the board into non-attacking sets).
+func QueenGraph(rows, cols int) *graph.CSR {
+	n := rows * cols
+	var edges [][2]int32
+	for u := 0; u < n; u++ {
+		r1, c1 := u/cols, u%cols
+		for v := u + 1; v < n; v++ {
+			r2, c2 := v/cols, v%cols
+			if r1 == r2 || c1 == c2 || r1-r2 == c1-c2 || r1-r2 == c2-c1 {
+				edges = append(edges, [2]int32{int32(u), int32(v)})
+			}
+		}
+	}
+	return mustFromEdges(n, edges)
+}
+
+// MycielskiGraph is the DIMACS mycielK graph: K−1 Mycielskian steps from
+// K2, giving a triangle-free graph with chromatic number K+1 on
+// 3·2^(K−1)−1 vertices (myciel3 is the 11-vertex Grötzsch graph).
+func MycielskiGraph(k int) *graph.CSR {
+	n := 2
+	edges := [][2]int32{{0, 1}}
+	for step := 1; step < k; step++ {
+		// Mycielskian: add a shadow u' per vertex u adjacent to N(u), plus
+		// an apex adjacent to every shadow. |V| → 2|V|+1, |E| → 3|E|+|V|.
+		next := make([][2]int32, 0, 3*len(edges)+n)
+		next = append(next, edges...)
+		for _, e := range edges {
+			next = append(next, [2]int32{e[0], int32(n) + e[1]})
+			next = append(next, [2]int32{e[1], int32(n) + e[0]})
+		}
+		apex := int32(2 * n)
+		for u := 0; u < n; u++ {
+			next = append(next, [2]int32{int32(n + u), apex})
+		}
+		n = 2*n + 1
+		edges = next
+	}
+	return mustFromEdges(n, edges)
+}
+
+// RegisterGraph is a register-allocation-style interference graph: n
+// deterministic pseudo-random live ranges (intervals) on a line 4n long,
+// with an edge wherever two ranges overlap. Interval graphs are the
+// classic register-allocation coloring workload; the fixed seed makes
+// "reg<n>" a pure function of n.
+func RegisterGraph(n int) *graph.CSR {
+	type interval struct {
+		start, end int64
+		id         int32
+	}
+	iv := make([]interval, n)
+	span := int64(4 * n)
+	if span == 0 {
+		span = 1
+	}
+	for i := range iv {
+		h := benchMix(regSeed ^ uint64(i)<<1)
+		start := int64(h % uint64(span))
+		length := 1 + int64((h>>40)%64)
+		iv[i] = interval{start: start, end: start + length, id: int32(i)}
+	}
+	// Sweep in start order: j overlaps i exactly when start_j < end_i
+	// (ties broken by id so the edge list is deterministic).
+	slices.SortFunc(iv, func(a, b interval) int {
+		if a.start != b.start {
+			return int(a.start - b.start)
+		}
+		return int(a.id - b.id)
+	})
+	var edges [][2]int32
+	for i, a := range iv {
+		for j := i + 1; j < len(iv) && iv[j].start < a.end; j++ {
+			u, v := a.id, iv[j].id
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	return mustFromEdges(n, edges)
+}
+
+// benchMix is the splitmix64 finalizer, private to the generators.
+func benchMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func mustFromEdges(n int, edges [][2]int32) *graph.CSR {
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		// The generators emit each edge once with u < v by construction.
+		panic(fmt.Sprintf("workload: benchmark generator invalid: %v", err))
+	}
+	return g
+}
+
+// canonicalGraphName lowercases and strips all whitespace: benchmark names
+// have no interior structure beyond their family stem and parameters.
+func canonicalGraphName(name string) string {
+	return strings.ToLower(strings.Join(strings.Fields(name), ""))
+}
+
+// parseBenchmark recognizes a benchmark-family name and returns its
+// canonical spelling, vertex count, and a builder, without building.
+// Recognized: "queen<R>_<C>", "myciel<K>", "reg<N>".
+func parseBenchmark(name string) (canonical string, n int, build func() *graph.CSR, ok bool) {
+	s := canonicalGraphName(name)
+	switch {
+	case strings.HasPrefix(s, "queen"):
+		parts := strings.Split(s[len("queen"):], "_")
+		if len(parts) != 2 {
+			return "", 0, nil, false
+		}
+		rows, err1 := strconv.Atoi(parts[0])
+		cols, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || rows < 1 || cols < 1 || rows > maxQueenSide || cols > maxQueenSide {
+			return "", 0, nil, false
+		}
+		return fmt.Sprintf("queen%d_%d", rows, cols), rows * cols, func() *graph.CSR { return QueenGraph(rows, cols) }, true
+	case strings.HasPrefix(s, "myciel"):
+		k, err := strconv.Atoi(s[len("myciel"):])
+		if err != nil || k < 2 || k > maxMycielStep {
+			return "", 0, nil, false
+		}
+		// |V| follows 2|V|+1 from 2 over k−1 steps: 3·2^(k−1) − 1.
+		return fmt.Sprintf("myciel%d", k), 3<<(k-1) - 1, func() *graph.CSR { return MycielskiGraph(k) }, true
+	case strings.HasPrefix(s, "reg"):
+		n, err := strconv.Atoi(s[len("reg"):])
+		if err != nil || n < 1 || n > maxRegVertices {
+			return "", 0, nil, false
+		}
+		return fmt.Sprintf("reg%d", n), n, func() *graph.CSR { return RegisterGraph(n) }, true
+	}
+	return "", 0, nil, false
+}
+
+// IsGraphBenchmark reports whether the name spells a buildable benchmark
+// instance, and its canonical spelling when it does.
+func IsGraphBenchmark(name string) (string, bool) {
+	canonical, _, _, ok := parseBenchmark(name)
+	return canonical, ok
+}
+
+// BenchmarkVertices reports the vertex count a benchmark name builds to,
+// without building it — admission control sizes its limits against this.
+func BenchmarkVertices(name string) (int, bool) {
+	_, n, _, ok := parseBenchmark(name)
+	return n, ok
+}
+
+// LookupGraph resolves a benchmark-family name into its graph. Unknown
+// names yield an actionable error: a name that is actually a Table II
+// molecule points at the instance input kind, anything else gets a
+// did-you-mean against both registries.
+func LookupGraph(name string) (*graph.CSR, string, error) {
+	if canonicalGraphName(name) == "" {
+		return nil, "", fmt.Errorf("workload: empty graph name")
+	}
+	if canonical, _, build, ok := parseBenchmark(name); ok {
+		return build(), canonical, nil
+	}
+	// Not a benchmark. Is it a molecule the caller misrouted?
+	if inst, err := Lookup(name); err == nil {
+		return nil, "", fmt.Errorf("workload: %q is a Table II molecule instance, not a graph benchmark (submit it as the instance input)", inst.Name)
+	}
+	if suggestion, ok := suggestName(name); ok {
+		return nil, "", fmt.Errorf("workload: unknown graph benchmark %q (did you mean %q?)", name, suggestion)
+	}
+	return nil, "", fmt.Errorf("workload: unknown graph benchmark %q (families: queen<R>_<C>, myciel<K>, reg<N>)", name)
+}
+
+// benchmarkSuggestion proposes a corrected benchmark spelling for a
+// near-miss: the name's letter stem within edit distance 2 of a family
+// stem, with parameters that parse. "quen9_9" → "queen9_9", true.
+func benchmarkSuggestion(name string) (string, bool) {
+	s := canonicalGraphName(name)
+	stem := s
+	for i, r := range s {
+		if r >= '0' && r <= '9' {
+			stem = s[:i]
+			break
+		}
+	}
+	if stem == "" {
+		return "", false
+	}
+	suffix := s[len(stem):]
+	bestName, bestDist := "", -1
+	for _, family := range []string{"queen", "myciel", "reg"} {
+		d := editDistance(stem, family)
+		if d > 2 {
+			continue
+		}
+		if canonical, _, _, ok := parseBenchmark(family + suffix); ok {
+			if bestDist < 0 || d < bestDist {
+				bestName, bestDist = canonical, d
+			}
+		}
+	}
+	return bestName, bestDist >= 0
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"picasso/internal/graph"
+)
+
+func TestQueenGraph(t *testing.T) {
+	g := QueenGraph(9, 9)
+	if g.N != 81 {
+		t.Fatalf("queen9_9 has %d vertices, want 81", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every square attacks its whole row and column: degree ≥ 16.
+	if d := g.Degree(0); d < 16 {
+		t.Errorf("corner degree %d, want >= 16", d)
+	}
+	// queen2_2: all four squares attack each other — K4.
+	if k4 := QueenGraph(2, 2); k4.NumEdges() != 6 {
+		t.Errorf("queen2_2 has %d edges, want 6 (K4)", k4.NumEdges())
+	}
+}
+
+func TestMycielskiGraph(t *testing.T) {
+	// DIMACS myciel3 is the Grötzsch graph: 11 vertices, 20 edges,
+	// triangle-free, chromatic number 4.
+	g := MycielskiGraph(3)
+	if g.N != 11 || g.NumEdges() != 20 {
+		t.Fatalf("myciel3: %d vertices %d edges, want 11/20", g.N, g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			for _, w := range g.Neighbors(int(v)) {
+				if g.HasEdge(u, int(w)) {
+					t.Fatalf("triangle %d-%d-%d in a Mycielski graph", u, v, w)
+				}
+			}
+		}
+	}
+	// The size recurrence: |V| → 2|V|+1, |E| → 3|E|+|V|.
+	g4 := MycielskiGraph(4)
+	if g4.N != 23 || g4.NumEdges() != 71 {
+		t.Errorf("myciel4: %d/%d, want 23/71", g4.N, g4.NumEdges())
+	}
+}
+
+func TestRegisterGraph(t *testing.T) {
+	g := RegisterGraph(500)
+	if g.N != 500 {
+		t.Fatalf("reg500 has %d vertices", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("reg500 has no edges")
+	}
+	// Deterministic: the name is the content.
+	if graph.ContentKey(g) != graph.ContentKey(RegisterGraph(500)) {
+		t.Error("reg500 not deterministic")
+	}
+}
+
+func TestLookupGraph(t *testing.T) {
+	g, canonical, err := LookupGraph("Queen9_9")
+	if err != nil {
+		t.Fatalf("LookupGraph: %v", err)
+	}
+	if canonical != "queen9_9" || g.N != 81 {
+		t.Fatalf("LookupGraph = %q, n=%d", canonical, g.N)
+	}
+	for _, name := range []string{"myciel5", "MYCIEL5", " reg64 "} {
+		if _, _, err := LookupGraph(name); err != nil {
+			t.Errorf("LookupGraph(%q): %v", name, err)
+		}
+	}
+	if _, _, err := LookupGraph(""); err == nil {
+		t.Error("empty name: want error")
+	}
+	// Out-of-range parameters are unknown, not panics.
+	for _, name := range []string{"queen9999_9999", "myciel99", "reg0", "queen_", "queenx_y"} {
+		if _, _, err := LookupGraph(name); err == nil {
+			t.Errorf("LookupGraph(%q): want error", name)
+		}
+	}
+}
+
+// The two registries must not collide: molecule names never resolve as
+// benchmarks, benchmark names never resolve as molecules, and each side's
+// miss points at the other side when that is what the user meant.
+func TestLookupRegistriesDoNotCollide(t *testing.T) {
+	// A benchmark name at the molecule registry: typed error, not a fuzzy
+	// molecule match.
+	_, err := Lookup("queen9_9")
+	if err == nil {
+		t.Fatal("Lookup(queen9_9): want error")
+	}
+	if !strings.Contains(err.Error(), "graph benchmark") || !strings.Contains(err.Error(), "graph input") {
+		t.Errorf("Lookup(queen9_9) error lacks graph hint: %v", err)
+	}
+	// A molecule name at the graph registry: typed error pointing back.
+	_, _, err = LookupGraph("H6 3D sto3g")
+	if err == nil {
+		t.Fatal("LookupGraph(H6 3D sto3g): want error")
+	}
+	if !strings.Contains(err.Error(), "molecule instance") {
+		t.Errorf("LookupGraph(H6 3D sto3g) error lacks molecule hint: %v", err)
+	}
+	// An H2-style molecule-ish name stays on the molecule side of the
+	// suggestion space.
+	_, _, err = LookupGraph("H2")
+	if err == nil {
+		t.Fatal("LookupGraph(H2): want error")
+	}
+	if strings.Contains(err.Error(), "queen") || strings.Contains(err.Error(), "myciel") {
+		t.Errorf("LookupGraph(H2) suggested a benchmark: %v", err)
+	}
+	// Benchmark typos get corrected toward the benchmark family, not a
+	// molecule.
+	_, err = Lookup("quen9_9")
+	if err == nil || !strings.Contains(err.Error(), `"queen9_9"`) {
+		t.Errorf("Lookup(quen9_9) should suggest queen9_9: %v", err)
+	}
+	// Molecule typos keep their molecule suggestion (regression guard for
+	// the pre-existing behavior).
+	_, err = Lookup("H6 3D sto3h")
+	if err == nil || !strings.Contains(err.Error(), `"H6 3D sto3g"`) {
+		t.Errorf("Lookup(H6 3D sto3h) should still suggest the molecule: %v", err)
+	}
+}

@@ -15,7 +15,9 @@ func canonicalName(name string) string {
 // Lookup finds a Table II instance by name, ignoring case and interior
 // whitespace. Unknown names yield an error that names the closest known
 // instance ("did you mean ...?") so CLI and API callers get an actionable
-// message instead of a bare miss.
+// message instead of a bare miss. Names that actually spell a graph
+// benchmark (or a near-miss of one, closer than any molecule) are pointed
+// at the graph input kind instead — the two registries never collide.
 func Lookup(name string) (Instance, error) {
 	want := canonicalName(name)
 	if want == "" {
@@ -31,7 +33,34 @@ func Lookup(name string) (Instance, error) {
 			best, bestDist = inst.Name, d
 		}
 	}
+	if canonical, ok := IsGraphBenchmark(name); ok {
+		return Instance{}, fmt.Errorf("workload: %q is a graph benchmark, not a molecule instance (submit it as the graph input)", canonical)
+	}
+	if bench, ok := benchmarkSuggestion(name); ok {
+		if d := editDistance(canonicalGraphName(name), bench); d < bestDist {
+			return Instance{}, fmt.Errorf("workload: unknown instance %q (did you mean the graph benchmark %q?)", name, bench)
+		}
+	}
 	return Instance{}, fmt.Errorf("workload: unknown instance %q (did you mean %q?)", name, best)
+}
+
+// suggestName proposes the closest known name across both registries —
+// molecule instances and benchmark-family spellings — for LookupGraph's
+// did-you-mean.
+func suggestName(name string) (string, bool) {
+	want := canonicalName(name)
+	best, bestDist := "", -1
+	for _, inst := range TableII() {
+		if d := editDistance(want, canonicalName(inst.Name)); bestDist < 0 || d < bestDist {
+			best, bestDist = inst.Name, d
+		}
+	}
+	if bench, ok := benchmarkSuggestion(name); ok {
+		if d := editDistance(canonicalGraphName(name), bench); bestDist < 0 || d < bestDist {
+			best, bestDist = bench, d
+		}
+	}
+	return best, bestDist >= 0
 }
 
 // editDistance is the Levenshtein distance between two short strings,

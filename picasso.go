@@ -53,6 +53,7 @@ import (
 	"picasso/internal/memtrack"
 	"picasso/internal/mlpredict"
 	"picasso/internal/pauli"
+	"picasso/internal/workload"
 )
 
 // Core aliases: the full option/result surface of the algorithm.
@@ -67,10 +68,20 @@ type (
 	IterStats = core.IterStats
 	// ListStrategy selects the conflict-graph coloring algorithm.
 	ListStrategy = core.ListStrategy
+	// Variant selects the coloring variant: standard, equitable (color
+	// classes within one of each other in size), or distance-2 (two-hop
+	// conflicts, via the squared input graph).
+	Variant = core.Variant
 	// Coloring is a color per vertex.
 	Coloring = graph.Coloring
 	// Oracle is an implicit graph: NumVertices plus an edge test.
 	Oracle = graph.Oracle
+	// CSR is a materialized graph in compressed-sparse-row form — the
+	// parsed result of a general-graph input file or a benchmark
+	// generator. It implements Oracle.
+	CSR = graph.CSR
+	// GraphFormat names a general-graph file format ParseGraph understands.
+	GraphFormat = graph.Format
 	// PauliSet is a flat collection of Pauli strings.
 	PauliSet = pauli.Set
 	// PauliString is a single tensor product of Pauli operators.
@@ -123,6 +134,28 @@ type (
 
 // MaxPortfolioEntrants caps the entrants of a portfolio race.
 const MaxPortfolioEntrants = core.MaxPortfolioEntrants
+
+// Coloring variants (Options.Variant).
+const (
+	// VariantStandard is the plain proper coloring (the default).
+	VariantStandard = core.VariantStandard
+	// VariantEquitable biases candidate picks toward the smallest feasible
+	// color class and balances classes in a post-pass: class sizes end
+	// within one of each other wherever the coloring permits
+	// (VerifyEquitable checks the guarantee).
+	VariantEquitable = core.VariantEquitable
+	// VariantDistance2 colors so vertices within two hops differ — run the
+	// engine on SquareOf(g); the jobspec layer does the squaring for graph
+	// inputs automatically.
+	VariantDistance2 = core.VariantDistance2
+)
+
+// General-graph file formats (see ParseGraph).
+const (
+	FormatDIMACS       = graph.FormatDIMACS
+	FormatMatrixMarket = graph.FormatMatrixMarket
+	FormatEdgeList     = graph.FormatEdgeList
+)
 
 // Conflict-graph coloring strategies.
 const (
@@ -377,6 +410,33 @@ func VerifyGrouping(set *PauliSet, c Coloring) error {
 func RandomGraph(n int, density float64, seed uint64) Oracle {
 	return graph.RandomOracle{N: n, P: density, Seed: seed}
 }
+
+// ParseGraph parses a general-graph file payload — DIMACS .col, Matrix
+// Market .mtx, or a whitespace edge list, auto-detected — into CSR form.
+// Every spelling of the same edge set (any format, any edge order, with or
+// without duplicates) parses to an identical CSR, so content-addressed
+// dedup works across formats.
+func ParseGraph(data []byte) (*CSR, GraphFormat, error) {
+	return graph.ParseGraph(data)
+}
+
+// GraphBenchmark builds a classic coloring benchmark instance by name:
+// the DIMACS queen ("queen9_9") and Mycielski ("myciel5") families plus a
+// register-allocation-style interference family ("reg4096"). Instances are
+// generated deterministically — a benchmark name fully identifies its graph.
+func GraphBenchmark(name string) (*CSR, error) {
+	g, _, err := workload.LookupGraph(name)
+	return g, err
+}
+
+// SquareOf returns the distance-2 oracle of a materialized graph: vertices
+// are adjacent iff they are within two hops of each other. A proper
+// coloring of the square is a distance-2 coloring of g (VariantDistance2).
+func SquareOf(g *CSR) Oracle { return graph.NewSquare(g) }
+
+// VerifyEquitable checks the equitable guarantee on top of Verify: every
+// pair of color classes differs in size by at most one.
+func VerifyEquitable(c Coloring) error { return graph.VerifyEquitable(c) }
 
 // ComplementOf returns the complement view of an oracle.
 func ComplementOf(o Oracle) Oracle { return graph.Complement{G: o} }

@@ -165,6 +165,34 @@ if [ "${loads:-0}" -lt 1 ]; then
   exit 1
 fi
 
+# --- General-graph gate: a DIMACS file colors end to end ---
+# Generate a benchmark instance as a DIMACS file, ship it inline as
+# graph_data (newlines JSON-escaped; DIMACS bodies carry no quotes or
+# backslashes), and color it through the same submit/poll/groups path.
+go build -o /tmp/datasetgen ./cmd/datasetgen
+/tmp/datasetgen -graph queen5_5 -format dimacs -out /tmp/smoke_queen.col
+GDATA=$(awk '{printf "%s\\n", $0}' /tmp/smoke_queen.col)
+GSPEC="{\"graph_data\":\"$GDATA\",\"seed\":5}"
+
+gsubmit=$(curl -sf -X POST "$BASE/jobs" -d "$GSPEC")
+echo "graph submit: $gsubmit"
+gid=$(echo "$gsubmit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$gid" ]; then echo "FAIL: no job id in graph submit response" >&2; exit 1; fi
+for i in $(seq 1 100); do
+  state=$(curl -sf "$BASE/jobs/$gid" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed) echo "FAIL: graph job failed"; curl -s "$BASE/jobs/$gid" >&2; exit 1 ;;
+  esac
+  if [ "$i" = 100 ]; then echo "FAIL: graph job never finished (state=$state)" >&2; exit 1; fi
+  sleep 0.2
+done
+ggcode=$(curl -s -o /tmp/ggroups.json -w '%{http_code}' "$BASE/jobs/$gid/groups")
+ggroups=$(sed -n 's/.*"num_groups":\([0-9]*\).*/\1/p' /tmp/ggroups.json)
+if [ "$ggcode" != 200 ] || [ -z "$ggroups" ] || [ "$ggroups" -eq 0 ]; then
+  echo "FAIL: graph groups missing (HTTP $ggcode)" >&2; exit 1
+fi
+
 # Restart on the same artifact dir: the resubmission must be a disk-tier
 # cache hit — state done immediately, nothing recolored.
 kill "$SERVE_PID" 2>/dev/null || true
@@ -193,4 +221,20 @@ fi
 gcode=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/jobs/$aid/groups")
 if [ "$gcode" != 200 ]; then echo "FAIL: rehydrated groups returned HTTP $gcode" >&2; exit 1; fi
 
-echo "OK: job $id colored into $ngroups groups; resubmission served from cache; disk tier survived a restart"
+# The DIMACS job's artifact survived the restart too: the identical file
+# payload is a disk hit with the same grouping, nothing recolored.
+grsubmit=$(curl -sf -X POST "$BASE/jobs" -d "$GSPEC")
+echo "graph disk resubmit: $grsubmit"
+case "$grsubmit" in
+  *'"cache_hit":true'*'"state":"done"'*|*'"state":"done"'*'"cache_hit":true'*) ;;
+  *) echo "FAIL: graph resubmission after restart was not a done disk hit" >&2; exit 1 ;;
+esac
+grstats=$(curl -sf "$BASE/stats")
+grhits=$(echo "$grstats" | sed -n 's/.*"disk_hits":\([0-9]*\).*/\1/p')
+grcompleted=$(echo "$grstats" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p')
+if [ "${grhits:-0}" -ne 2 ] || [ "${grcompleted:-1}" -ne 0 ]; then
+  echo "FAIL: graph restart stats want disk_hits=2 completed=0: $grstats" >&2
+  exit 1
+fi
+
+echo "OK: job $id colored into $ngroups groups; DIMACS job $gid colored into $ggroups groups; resubmissions served from cache; disk tier survived a restart"
